@@ -1,0 +1,30 @@
+"""A3 — ablation of detection placement: in-device window vs offloaded analysis.
+
+Design choice under test: RSSD offloads detection/analysis to remote
+servers over the full operation history, rather than relying on the
+short-horizon detectors that fit inside SSD firmware.
+"""
+
+from repro.analysis.experiments import run_detection_ablation
+from repro.analysis.reporting import format_table
+
+
+def test_local_versus_offloaded_detection(once):
+    rows = once(run_detection_ablation)
+    table = format_table(
+        ["attack", "local detector", "remote detector", "attacker identified"],
+        [[row.attack, row.local_detected, row.remote_detected, row.remote_identified_attacker] for row in rows],
+    )
+    print("\n[A3] Detection placement ablation\n" + table)
+
+    by_attack = {row.attack: row for row in rows}
+
+    # The offloaded detector catches every attack and attributes it.
+    for row in rows:
+        assert row.remote_detected, row.attack
+        assert row.remote_identified_attacker, row.attack
+
+    # The in-device window detector catches fast bulk encryption but is
+    # evaded by the paced timing attack -- the motivation for offloading.
+    assert by_attack["classic"].local_detected
+    assert not by_attack["timing-attack"].local_detected

@@ -1,0 +1,38 @@
+"""P4 — trusted post-attack analysis (evidence chain construction).
+
+The paper reports that RSSD reconstructs the original sequence of I/O
+events leading to an attack in a short time; this benchmark mixes an
+attack into background workloads of increasing size and measures the
+evidence-chain reconstruction.
+"""
+
+from repro.analysis.experiments import run_forensics_experiment
+from repro.analysis.reporting import format_table
+
+
+def test_evidence_chain_reconstruction(once):
+    rows = once(run_forensics_experiment, background_ops_list=[200, 1_000, 4_000])
+    table = format_table(
+        ["background ops", "log entries", "chain verified", "attacker found", "reconstruction (s, simulated)", "remote segments"],
+        [
+            [
+                row.background_ops,
+                row.log_entries,
+                row.chain_verified,
+                row.attacker_identified,
+                row.reconstruction_seconds,
+                row.offloaded_segments,
+            ]
+            for row in rows
+        ],
+    )
+    print("\n[P4] Evidence-chain construction\n" + table)
+
+    assert len(rows) == 3
+    for row in rows:
+        assert row.chain_verified
+        assert row.attacker_identified
+        assert row.reconstruction_seconds < 10.0
+    # Reconstruction cost scales with the amount of logged history.
+    assert rows[0].reconstruction_seconds <= rows[-1].reconstruction_seconds
+    assert rows[0].log_entries < rows[-1].log_entries

@@ -1,0 +1,36 @@
+"""P2 — device lifetime impact (write amplification and erase counts).
+
+The paper reports minimal impact on device lifetime; this benchmark
+replays trace-profile workloads against both devices and compares wear.
+"""
+
+from repro.analysis.experiments import run_lifetime_experiment
+from repro.analysis.reporting import format_table
+
+
+def test_lifetime_impact(once):
+    rows = once(run_lifetime_experiment, volumes=["hm", "src", "usr"])
+    table = format_table(
+        ["volume", "base WAF", "rssd WAF", "WAF ovh %", "base erases", "rssd erases", "erase ovh %"],
+        [
+            [
+                row.volume,
+                row.baseline_waf,
+                row.rssd_waf,
+                row.waf_overhead * 100.0,
+                row.baseline_erases,
+                row.rssd_erases,
+                row.erase_overhead * 100.0,
+            ]
+            for row in rows
+        ],
+    )
+    print("\n[P2] Device lifetime impact\n" + table)
+
+    assert len(rows) == 3
+    for row in rows:
+        assert row.baseline_waf >= 1.0
+        assert row.rssd_waf >= 1.0
+        # Minimal lifetime impact: single-digit percent extra wear.
+        assert row.waf_overhead < 0.10, row.volume
+        assert row.erase_overhead < 0.15, row.volume

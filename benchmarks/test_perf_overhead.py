@@ -1,0 +1,34 @@
+"""P1 — storage performance overhead of RSSD versus an unmodified SSD.
+
+The paper reports < 1% impact on local storage performance; this
+benchmark replays fio-style jobs against both devices and compares
+host-visible latencies.
+"""
+
+from repro.analysis.experiments import run_performance_overhead
+from repro.analysis.reporting import format_table
+
+
+def test_performance_overhead(once):
+    rows = once(run_performance_overhead, duration_s=0.5)
+    table = format_table(
+        ["job", "base write us", "rssd write us", "write ovh %", "base read us", "rssd read us", "read ovh %"],
+        [
+            [
+                row.job,
+                row.baseline_write_latency_us,
+                row.rssd_write_latency_us,
+                row.write_overhead * 100.0,
+                row.baseline_read_latency_us,
+                row.rssd_read_latency_us,
+                row.read_overhead * 100.0,
+            ]
+            for row in rows
+        ],
+    )
+    print("\n[P1] Local storage performance overhead\n" + table)
+
+    assert len(rows) == 5
+    for row in rows:
+        assert row.write_overhead < 0.01, row.job
+        assert row.read_overhead < 0.01, row.job

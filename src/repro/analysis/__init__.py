@@ -1,0 +1,36 @@
+"""Experiment harnesses and reporting.
+
+Each function in :mod:`repro.analysis.experiments` regenerates one of
+the paper's tables/figures (or an ablation of a design choice); the
+benchmark suite under ``benchmarks/`` is a thin wrapper that calls
+these and prints the resulting rows.  :mod:`repro.analysis.retention`
+holds the analytic retention-time model behind Figure 2.
+"""
+
+from repro.analysis.retention import (
+    FigureTwoRow,
+    RetentionScenario,
+    figure2_rows,
+    retention_days_local,
+    retention_days_local_compressed,
+    retention_days_rssd,
+)
+from repro.analysis.reporting import format_csv, format_markdown_table, format_table
+from repro.analysis.stats import geometric_mean, mean, median, relative_overhead, stdev
+
+__all__ = [
+    "FigureTwoRow",
+    "RetentionScenario",
+    "figure2_rows",
+    "format_csv",
+    "format_markdown_table",
+    "format_table",
+    "geometric_mean",
+    "mean",
+    "median",
+    "relative_overhead",
+    "retention_days_local",
+    "retention_days_local_compressed",
+    "retention_days_rssd",
+    "stdev",
+]

@@ -1,0 +1,542 @@
+"""Experiment harnesses: one function per table, figure or ablation.
+
+The benchmark suite under ``benchmarks/`` calls these functions and
+prints/validates their results; the unit tests exercise them at reduced
+scale.  Keeping the logic here means a user can also run any experiment
+directly from a Python shell or an example script.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.retention import (
+    FigureTwoRow,
+    RetentionScenario,
+    figure2_rows,
+)
+from repro.analysis.stats import mean, relative_overhead
+from repro.attacks.base import AttackOutcome, build_environment
+from repro.attacks.classic import ClassicRansomware, DestructionMode
+from repro.attacks.gc_attack import GCAttack
+from repro.attacks.timing_attack import TimingAttack
+from repro.attacks.trimming_attack import TrimmingAttack
+from repro.core.config import RSSDConfig
+from repro.core.rssd import RSSD
+from repro.core.trim_handler import TrimMode
+from repro.defenses.matrix import CapabilityMatrix, MatrixRow, default_defense_factories
+from repro.sim import SimClock, US_PER_SECOND
+from repro.ssd.device import SSD
+from repro.ssd.geometry import SSDGeometry
+from repro.workloads.fio import FioJob, standard_jobs
+from repro.workloads.records import TraceRecord
+from repro.workloads.replay import TraceReplayer
+from repro.workloads.synthetic import UniformRandomWorkload, ZipfianWorkload, profile_workload
+from repro.analysis.retention import lookup_volume
+
+
+# ---------------------------------------------------------------------------
+# T1: capability matrix (Table 1)
+# ---------------------------------------------------------------------------
+
+def run_capability_matrix(
+    geometry: Optional[SSDGeometry] = None,
+    defense_names: Optional[List[str]] = None,
+    victim_files: int = 24,
+) -> List[MatrixRow]:
+    """Run the Table-1 capability matrix for the requested defenses."""
+    matrix = CapabilityMatrix(geometry=geometry, victim_files=victim_files)
+    factories = default_defense_factories()
+    if defense_names is not None:
+        unknown = set(defense_names) - set(factories)
+        if unknown:
+            raise KeyError(f"unknown defenses requested: {sorted(unknown)}")
+        factories = {name: factories[name] for name in defense_names}
+    return matrix.run(defense_factories=factories)
+
+
+# ---------------------------------------------------------------------------
+# F2: retention time (Figure 2)
+# ---------------------------------------------------------------------------
+
+def run_retention_experiment(
+    volumes: Optional[List[str]] = None,
+    scenario: Optional[RetentionScenario] = None,
+) -> List[FigureTwoRow]:
+    """Compute Figure 2's retention times for every requested volume."""
+    return figure2_rows(volumes=volumes, scenario=scenario)
+
+
+def measure_stale_production(
+    volume: str,
+    duration_s: float = 2.0,
+    geometry: Optional[SSDGeometry] = None,
+    seed: int = 5,
+) -> float:
+    """Validate the analytic model's key input against a simulated replay.
+
+    Returns the measured ratio of stale pages produced per host page
+    written for a short, time-compressed replay of the volume's profile.
+    """
+    geometry = geometry if geometry is not None else SSDGeometry.small()
+    device = SSD(geometry=geometry)
+    profile = lookup_volume(volume)
+    records = profile_workload(
+        profile,
+        capacity_pages=geometry.exported_pages // 2,
+        duration_s=duration_s,
+        seed=seed,
+        time_compression=20_000.0,
+    )
+    replayer = TraceReplayer(device)
+    result = replayer.replay(records)
+    if result.pages_written == 0:
+        return 0.0
+    return device.ftl.stats.stale_pages_created / result.pages_written
+
+
+# ---------------------------------------------------------------------------
+# P1: storage performance overhead
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """Per-benchmark-job overhead of RSSD versus an unmodified SSD."""
+
+    job: str
+    baseline_write_latency_us: float
+    rssd_write_latency_us: float
+    baseline_read_latency_us: float
+    rssd_read_latency_us: float
+
+    @property
+    def write_overhead(self) -> float:
+        return relative_overhead(self.baseline_write_latency_us, self.rssd_write_latency_us)
+
+    @property
+    def read_overhead(self) -> float:
+        return relative_overhead(self.baseline_read_latency_us, self.rssd_read_latency_us)
+
+
+def run_performance_overhead(
+    jobs: Optional[Dict[str, FioJob]] = None,
+    geometry: Optional[SSDGeometry] = None,
+    duration_s: float = 1.0,
+    seed: int = 7,
+) -> List[OverheadRow]:
+    """Replay fio-like jobs on a plain SSD and on RSSD and compare latencies."""
+    geometry = geometry if geometry is not None else SSDGeometry.small()
+    jobs = jobs if jobs is not None else standard_jobs(duration_s=duration_s)
+    rows: List[OverheadRow] = []
+    for name, job in jobs.items():
+        records = job.generate(geometry.exported_pages, seed=seed)
+
+        baseline = SSD(geometry=geometry)
+        TraceReplayer(baseline).replay(records)
+
+        rssd = RSSD(config=RSSDConfig(geometry=geometry))
+        TraceReplayer(rssd).replay(records)
+
+        rows.append(
+            OverheadRow(
+                job=name,
+                baseline_write_latency_us=baseline.metrics.latency["write"].mean_us,
+                rssd_write_latency_us=rssd.metrics.latency["write"].mean_us,
+                baseline_read_latency_us=baseline.metrics.latency["read"].mean_us,
+                rssd_read_latency_us=rssd.metrics.latency["read"].mean_us,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# P2: device lifetime impact
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LifetimeRow:
+    """Write amplification and erase counts, baseline versus RSSD."""
+
+    volume: str
+    baseline_waf: float
+    rssd_waf: float
+    baseline_erases: int
+    rssd_erases: int
+
+    @property
+    def waf_overhead(self) -> float:
+        return relative_overhead(self.baseline_waf, self.rssd_waf)
+
+    @property
+    def erase_overhead(self) -> float:
+        return relative_overhead(float(self.baseline_erases), float(self.rssd_erases))
+
+
+def run_lifetime_experiment(
+    volumes: Optional[List[str]] = None,
+    geometry: Optional[SSDGeometry] = None,
+    duration_s: float = 0.1,
+    time_compression: float = 30_000.0,
+    seed: int = 9,
+) -> List[LifetimeRow]:
+    """Replay volume profiles on a plain SSD and on RSSD; compare wear.
+
+    The working set is kept at one third of the exported capacity, which
+    is representative of the utilisation the paper's traces run at; a
+    nearly full device amplifies GC activity for *both* devices and is
+    covered separately by the GC-attack experiments.
+    """
+    geometry = geometry if geometry is not None else SSDGeometry.tiny()
+    volumes = volumes if volumes is not None else ["hm", "src", "usr"]
+    rows: List[LifetimeRow] = []
+    for volume in volumes:
+        profile = lookup_volume(volume)
+        records = profile_workload(
+            profile,
+            capacity_pages=geometry.exported_pages // 3,
+            duration_s=duration_s,
+            seed=seed,
+            time_compression=time_compression,
+        )
+
+        baseline = SSD(geometry=geometry)
+        TraceReplayer(baseline).replay(records)
+
+        rssd = RSSD(config=RSSDConfig(geometry=geometry))
+        TraceReplayer(rssd).replay(records)
+        rssd.drain_offload_queue()
+
+        rows.append(
+            LifetimeRow(
+                volume=volume,
+                baseline_waf=max(1.0, baseline.metrics.write_amplification),
+                rssd_waf=max(1.0, rssd.metrics.write_amplification),
+                baseline_erases=baseline.metrics.flash_blocks_erased,
+                rssd_erases=rssd.metrics.flash_blocks_erased,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# P3: post-attack data recovery
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RecoveryRow:
+    """Recovery outcome for one attack replayed against RSSD."""
+
+    attack: str
+    victim_pages: int
+    pages_restored: int
+    pages_unrecoverable: int
+    recovery_seconds: float
+    files_fully_recovered: int
+    files_total: int
+
+    @property
+    def recovered_fraction(self) -> float:
+        examined = self.pages_restored + self.pages_unrecoverable
+        if examined == 0:
+            return 1.0
+        return self.pages_restored / examined
+
+
+def _attack_by_name(name: str):
+    factories = {
+        "classic": lambda: ClassicRansomware(destruction=DestructionMode.OVERWRITE),
+        "classic-delete": lambda: ClassicRansomware(destruction=DestructionMode.DELETE),
+        "gc-attack": lambda: GCAttack(),
+        "timing-attack": lambda: TimingAttack(),
+        "trimming-attack": lambda: TrimmingAttack(),
+    }
+    if name not in factories:
+        raise KeyError(f"unknown attack {name!r}; available: {sorted(factories)}")
+    return factories[name]()
+
+
+def run_recovery_experiment(
+    attack_names: Optional[List[str]] = None,
+    geometry: Optional[SSDGeometry] = None,
+    victim_files: int = 24,
+    file_size_bytes: int = 8192,
+) -> List[RecoveryRow]:
+    """Attack RSSD, recover, and verify the restored data page by page."""
+    geometry = geometry if geometry is not None else SSDGeometry.tiny()
+    attack_names = attack_names if attack_names is not None else [
+        "classic",
+        "gc-attack",
+        "timing-attack",
+        "trimming-attack",
+    ]
+    rows: List[RecoveryRow] = []
+    for name in attack_names:
+        rssd = RSSD(config=RSSDConfig(geometry=geometry))
+        env = build_environment(rssd, victim_files=victim_files, file_size_bytes=file_size_bytes)
+        attack = _attack_by_name(name)
+        outcome: AttackOutcome = attack.execute(env)
+
+        engine = rssd.recovery_engine()
+        report = engine.undo_attack(outcome.start_us, outcome.malicious_streams)
+
+        restored_ok = 0
+        lost = 0
+        for lba in outcome.victim_lbas:
+            original = outcome.original_fingerprints.get(lba)
+            if original is None:
+                continue
+            live = rssd.read_content(lba)
+            if live is not None and live.fingerprint == original:
+                restored_ok += 1
+            else:
+                lost += 1
+
+        files_ok = 0
+        for filename, original_bytes in outcome.original_contents.items():
+            if env.fs.exists(filename):
+                recovered_bytes = env.fs.read_file(filename)
+            else:
+                # The attacker deleted the file; the investigator rebuilds it
+                # from the recovered extent (RSSD restored the pages, the
+                # host re-creates the namespace entry).
+                extent = outcome.original_extents.get(filename, [])
+                recovered_bytes = b"".join(rssd.read(lba) for lba in extent)[
+                    : len(original_bytes)
+                ]
+            if recovered_bytes == original_bytes:
+                files_ok += 1
+
+        rows.append(
+            RecoveryRow(
+                attack=name,
+                victim_pages=len(outcome.victim_lbas),
+                pages_restored=restored_ok,
+                pages_unrecoverable=lost,
+                recovery_seconds=report.duration_seconds,
+                files_fully_recovered=files_ok,
+                files_total=len(outcome.original_contents),
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# P4: post-attack analysis (evidence chain)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ForensicsRow:
+    """Evidence-chain reconstruction for one background-workload size."""
+
+    background_ops: int
+    log_entries: int
+    chain_verified: bool
+    attacker_identified: bool
+    reconstruction_seconds: float
+    offloaded_segments: int
+
+
+def run_forensics_experiment(
+    background_ops_list: Optional[List[int]] = None,
+    geometry: Optional[SSDGeometry] = None,
+    seed: int = 13,
+) -> List[ForensicsRow]:
+    """Mix an attack into growing background workloads and rebuild the chain."""
+    geometry = geometry if geometry is not None else SSDGeometry.tiny()
+    background_ops_list = background_ops_list if background_ops_list is not None else [
+        200,
+        1_000,
+        4_000,
+    ]
+    rows: List[ForensicsRow] = []
+    for background_ops in background_ops_list:
+        rssd = RSSD(config=RSSDConfig(geometry=geometry))
+        env = build_environment(rssd, victim_files=12, file_size_bytes=8192, seed=seed)
+
+        # Background user traffic before (and interleaved with) the attack.
+        workload = ZipfianWorkload(
+            capacity_pages=rssd.capacity_pages // 2,
+            iops=500.0,
+            write_fraction=0.6,
+            seed=seed,
+            stream_id=env.user_stream,
+        )
+        records = workload.generate(background_ops / 500.0)[:background_ops]
+        TraceReplayer(rssd, honor_timestamps=False).replay(records)
+
+        attack = ClassicRansomware()
+        outcome = attack.execute(env)
+        rssd.drain_offload_queue()
+
+        report = rssd.investigate()
+        rows.append(
+            ForensicsRow(
+                background_ops=background_ops,
+                log_entries=report.total_entries,
+                chain_verified=report.chain_verified,
+                attacker_identified=env.attacker_stream in report.suspected_streams,
+                reconstruction_seconds=report.reconstruction_seconds,
+                offloaded_segments=report.offloaded_segments,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# A1: offload path ablation (compression + bandwidth demand)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OffloadRow:
+    """Offload-path behaviour for one replayed volume."""
+
+    volume: str
+    pages_offloaded: int
+    raw_mb: float
+    compressed_mb: float
+    compression_ratio: float
+    wire_mb: float
+    link_backlog_us: float
+
+
+def run_offload_ablation(
+    volumes: Optional[List[str]] = None,
+    geometry: Optional[SSDGeometry] = None,
+    duration_s: float = 0.1,
+    time_compression: float = 30_000.0,
+    seed: int = 17,
+) -> List[OffloadRow]:
+    """Replay volumes on RSSD and report what the offload path shipped."""
+    geometry = geometry if geometry is not None else SSDGeometry.tiny()
+    volumes = volumes if volumes is not None else ["hm", "src", "email", "usr"]
+    rows: List[OffloadRow] = []
+    for volume in volumes:
+        profile = lookup_volume(volume)
+        records = profile_workload(
+            profile,
+            capacity_pages=geometry.exported_pages // 2,
+            duration_s=duration_s,
+            seed=seed,
+            time_compression=time_compression,
+        )
+        rssd = RSSD(config=RSSDConfig(geometry=geometry))
+        TraceReplayer(rssd).replay(records)
+        rssd.drain_offload_queue()
+        stats = rssd.offload.stats
+        rows.append(
+            OffloadRow(
+                volume=volume,
+                pages_offloaded=stats.pages_offloaded,
+                raw_mb=stats.raw_bytes / 1024**2,
+                compressed_mb=stats.compressed_bytes / 1024**2,
+                compression_ratio=stats.compression_ratio,
+                wire_mb=stats.wire_bytes / 1024**2,
+                link_backlog_us=rssd.offload.link_backlog_us,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# A2: enhanced-trim ablation
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TrimAblationRow:
+    """Outcome of the trimming attack under each trim-handling mode."""
+
+    mode: str
+    pages_trimmed: int
+    recovered_fraction: float
+    trim_rejected: bool
+
+
+def run_trim_ablation(
+    geometry: Optional[SSDGeometry] = None,
+    victim_files: int = 16,
+) -> List[TrimAblationRow]:
+    """Compare enhanced trim against retain-nothing and trim-disabled variants."""
+    geometry = geometry if geometry is not None else SSDGeometry.tiny()
+    rows: List[TrimAblationRow] = []
+    for mode, retain_trimmed in (
+        (TrimMode.ENHANCED, True),
+        (TrimMode.NAIVE, False),
+        (TrimMode.DISABLED, True),
+    ):
+        rssd = RSSD(config=RSSDConfig(geometry=geometry))
+        rssd.retention.retain_trimmed = retain_trimmed
+        rssd.trim_handler.set_mode(mode)
+        env = build_environment(rssd, victim_files=victim_files, file_size_bytes=8192)
+        attack = TrimmingAttack()
+        outcome = attack.execute(env)
+
+        engine = rssd.recovery_engine()
+        engine.undo_attack(outcome.start_us, outcome.malicious_streams)
+
+        recovered = 0
+        total = 0
+        for lba in outcome.victim_lbas:
+            original = outcome.original_fingerprints.get(lba)
+            if original is None:
+                continue
+            total += 1
+            live = rssd.read_content(lba)
+            if live is not None and live.fingerprint == original:
+                recovered += 1
+        rows.append(
+            TrimAblationRow(
+                mode=mode.value,
+                pages_trimmed=outcome.pages_trimmed,
+                recovered_fraction=recovered / total if total else 0.0,
+                trim_rejected=rssd.trim_handler.stats.pages_rejected > 0,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# A3: local versus offloaded detection
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DetectionRow:
+    """Detection outcomes of the local and remote detectors for one attack."""
+
+    attack: str
+    local_detected: bool
+    remote_detected: bool
+    remote_identified_attacker: bool
+
+
+def run_detection_ablation(
+    attack_names: Optional[List[str]] = None,
+    geometry: Optional[SSDGeometry] = None,
+) -> List[DetectionRow]:
+    """Run each attack against RSSD and compare the two detectors."""
+    geometry = geometry if geometry is not None else SSDGeometry.tiny()
+    attack_names = attack_names if attack_names is not None else [
+        "classic",
+        "gc-attack",
+        "timing-attack",
+        "trimming-attack",
+    ]
+    rows: List[DetectionRow] = []
+    for name in attack_names:
+        rssd = RSSD(config=RSSDConfig(geometry=geometry))
+        env = build_environment(rssd, victim_files=24, file_size_bytes=8192)
+        attack = _attack_by_name(name)
+        outcome = attack.execute(env)
+        rssd.drain_offload_queue()
+
+        local = rssd.local_detector.report()
+        remote = rssd.detect()
+        rows.append(
+            DetectionRow(
+                attack=name,
+                local_detected=local.detected,
+                remote_detected=remote.detected,
+                remote_identified_attacker=env.attacker_stream in remote.suspected_streams,
+            )
+        )
+    return rows

@@ -1,0 +1,57 @@
+"""ASCII rendering of the paper's figures.
+
+The benchmark suite prints tables; for quick terminal inspection (and for
+the CLI) a horizontal bar rendering of Figure 2 is also provided.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.analysis.retention import FigureTwoRow
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    max_value: float = 0.0,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render one horizontal bar per (label, value) pair."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if width < 10:
+        raise ValueError("width must be at least 10 characters")
+    if not labels:
+        return ""
+    scale = max_value if max_value > 0 else max(values)
+    scale = scale if scale > 0 else 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = int(round(min(value, scale) / scale * width))
+        bar = "#" * filled
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)}| {value:8.1f}{unit}")
+    return "\n".join(lines)
+
+
+def render_figure2(rows: List[FigureTwoRow], width: int = 40) -> str:
+    """Render Figure 2 as grouped ASCII bars (three bars per volume)."""
+    if not rows:
+        return ""
+    scale = max(row.rssd_days for row in rows)
+    sections = []
+    for row in rows:
+        sections.append(
+            f"{row.volume}\n"
+            + render_bars(
+                ["LocalSSD", "+Compression", "RSSD"],
+                [row.local_days, row.local_compressed_days, row.rssd_days],
+                max_value=scale,
+                width=width,
+                unit=" d",
+            )
+        )
+    header = "Data retention time per volume (days)"
+    return header + "\n" + ("-" * len(header)) + "\n" + "\n\n".join(sections)

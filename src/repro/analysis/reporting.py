@@ -1,0 +1,51 @@
+"""Plain-text / CSV / markdown rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _stringify(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned fixed-width text table."""
+    string_rows: List[List[str]] = [[_stringify(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)),
+        "  ".join("-" * widths[index] for index in range(len(headers))),
+    ]
+    for row in string_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_stringify(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as CSV text (no quoting; values must not contain commas)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        cells = [_stringify(cell) for cell in row]
+        if any("," in cell for cell in cells):
+            raise ValueError("CSV cells must not contain commas")
+        lines.append(",".join(cells))
+    return "\n".join(lines)

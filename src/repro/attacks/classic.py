@@ -1,0 +1,81 @@
+"""Classic encryption ransomware.
+
+The canonical behaviour observed across the families the paper studies:
+read a victim file, encrypt it, destroy the original copy, repeat, and
+finally drop a ransom note.  The way the original is destroyed is the
+main behavioural difference between families and is configurable:
+
+* ``OVERWRITE`` -- encrypt in place (WannaCry-like).
+* ``DELETE``    -- write the ciphertext to a new file and delete the
+  original through the file system (Locky-like).
+* ``TRIM``      -- delete the original *and* trim its extent, which on
+  a commodity SSD physically erases the plaintext (this is the
+  building block the dedicated trimming attack escalates).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.attacks.base import AttackEnvironment, AttackOutcome, RansomwareAttack
+
+
+class DestructionMode(enum.Enum):
+    """How the original plaintext copy is destroyed after encryption."""
+
+    OVERWRITE = "overwrite"
+    DELETE = "delete"
+    TRIM = "trim"
+
+
+class ClassicRansomware(RansomwareAttack):
+    """Fast, bulk, in-place encryption ransomware.
+
+    Classic samples typically run in the victim user's context and do
+    not bother disabling backup agents first -- that escalation is what
+    distinguishes the newer, more aggressive attack models.
+    """
+
+    name = "classic"
+    aggressive = False
+
+    def __init__(
+        self,
+        destruction: DestructionMode = DestructionMode.OVERWRITE,
+        inter_file_delay_us: int = 2_000,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        if inter_file_delay_us < 0:
+            raise ValueError("inter_file_delay_us must be non-negative")
+        self.destruction = destruction
+        self.inter_file_delay_us = inter_file_delay_us
+
+    def execute(self, env: AttackEnvironment) -> AttackOutcome:
+        outcome = AttackOutcome(
+            attack_name=self.name,
+            start_us=env.clock.now_us,
+            end_us=env.clock.now_us,
+            malicious_streams=[env.attacker_stream],
+        )
+        self._capture_originals(env, outcome)
+        victims = list(outcome.victim_files)
+        for name in victims:
+            plaintext = env.fs.read_file(name)
+            ciphertext = self._encrypt_bytes(plaintext)
+            with self._as_attacker(env):
+                if self.destruction is DestructionMode.OVERWRITE:
+                    env.fs.overwrite_file(name, ciphertext)
+                elif self.destruction is DestructionMode.DELETE:
+                    env.fs.delete_file(name, trim=False)
+                    env.fs.create_file(name + ".locked", ciphertext)
+                else:
+                    lbas = env.fs.file_lbas(name)
+                    env.fs.delete_file(name, trim=True)
+                    env.fs.create_file(name + ".locked", ciphertext)
+                    outcome.pages_trimmed += len(lbas)
+            outcome.pages_encrypted += (len(plaintext) + env.blockdev.page_size - 1) // env.blockdev.page_size
+            env.clock.advance(self.inter_file_delay_us)
+        self._drop_ransom_note(env, outcome)
+        outcome.end_us = env.clock.now_us
+        return outcome

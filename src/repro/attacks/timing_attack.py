@@ -1,0 +1,88 @@
+"""The timing attack.
+
+Window-based detectors look for a *burst* of encrypted-looking
+overwrites, and capacity-bounded retention schemes keep old versions
+only for a bounded time.  The timing attack defeats both by patience:
+it encrypts a few files at a time, spreads the work over days, and
+issues camouflage I/O that imitates the victim's normal workload in
+between, so the merged request stream never looks anomalous over any
+short window.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackEnvironment, AttackOutcome, RansomwareAttack
+from repro.sim import US_PER_HOUR
+from repro.ssd.flash import PageContent
+
+
+class TimingAttack(RansomwareAttack):
+    """Slow-paced, camouflaged encryption ransomware."""
+
+    name = "timing-attack"
+    #: The whole point of the attack is stealth: it does not tip its hand
+    #: by killing backup agents or other host defenses.
+    aggressive = False
+
+    def __init__(
+        self,
+        files_per_batch: int = 1,
+        batch_interval_us: int = 12 * US_PER_HOUR,
+        camouflage_writes_per_batch: int = 24,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        if files_per_batch < 1:
+            raise ValueError("files_per_batch must be at least 1")
+        if batch_interval_us <= 0:
+            raise ValueError("batch_interval_us must be positive")
+        if camouflage_writes_per_batch < 0:
+            raise ValueError("camouflage_writes_per_batch must be non-negative")
+        self.files_per_batch = files_per_batch
+        self.batch_interval_us = batch_interval_us
+        self.camouflage_writes_per_batch = camouflage_writes_per_batch
+
+    def execute(self, env: AttackEnvironment) -> AttackOutcome:
+        outcome = AttackOutcome(
+            attack_name=self.name,
+            start_us=env.clock.now_us,
+            end_us=env.clock.now_us,
+            malicious_streams=[env.attacker_stream],
+        )
+        self._capture_originals(env, outcome)
+        victims = list(outcome.victim_files)
+        for batch_start in range(0, len(victims), self.files_per_batch):
+            batch = victims[batch_start : batch_start + self.files_per_batch]
+            for name in batch:
+                plaintext = env.fs.read_file(name)
+                ciphertext = self._encrypt_bytes(plaintext)
+                with self._as_attacker(env):
+                    env.fs.overwrite_file(name, ciphertext)
+                outcome.pages_encrypted += (
+                    len(plaintext) + env.blockdev.page_size - 1
+                ) // env.blockdev.page_size
+            self._camouflage(env)
+            # Wait half a day before the next small batch so no detection
+            # window ever sees a sustained burst.
+            env.clock.advance(self.batch_interval_us)
+        self._drop_ransom_note(env, outcome)
+        outcome.end_us = env.clock.now_us
+        return outcome
+
+    def _camouflage(self, env: AttackEnvironment) -> None:
+        """Issue low-entropy writes that look like ordinary user activity."""
+        if self.camouflage_writes_per_batch == 0:
+            return
+        page_size = env.blockdev.page_size
+        capacity = env.blockdev.capacity_pages
+        # Camouflage traffic lands in the upper half of the address space
+        # so it imitates unrelated user activity without clobbering the
+        # victim files the attack is holding hostage.
+        base = capacity // 2
+        for _ in range(self.camouflage_writes_per_batch):
+            lba = base + self.rng.randrange(max(1, capacity - base))
+            filler = (b"meeting notes, quarterly figures, todo list. " * 120)[:page_size]
+            content = PageContent.from_bytes(filler)
+            # Camouflage traffic is tagged with the *user* stream: the
+            # attacker injects it through compromised user applications.
+            env.device.write(lba, content, stream_id=env.user_stream)  # type: ignore[attr-defined]

@@ -1,0 +1,58 @@
+"""The trimming attack.
+
+The trim command exists so the host can tell the SSD which pages are
+dead; commodity firmware responds by erasing them soon after, skipping
+the retention window every flash-based defense relies on.  The trimming
+attack therefore encrypts each file into a *new* file and then deletes
+and trims the original extent, physically destroying the plaintext.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackEnvironment, AttackOutcome, RansomwareAttack
+from repro.core.trim_handler import TrimRejectedError
+from repro.ssd.errors import SSDError
+
+
+class TrimmingAttack(RansomwareAttack):
+    """Encrypt to new files, then trim the originals."""
+
+    name = "trimming-attack"
+    aggressive = True
+
+    def __init__(self, inter_file_delay_us: int = 2_000, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if inter_file_delay_us < 0:
+            raise ValueError("inter_file_delay_us must be non-negative")
+        self.inter_file_delay_us = inter_file_delay_us
+
+    def execute(self, env: AttackEnvironment) -> AttackOutcome:
+        outcome = AttackOutcome(
+            attack_name=self.name,
+            start_us=env.clock.now_us,
+            end_us=env.clock.now_us,
+            malicious_streams=[env.attacker_stream],
+        )
+        self._capture_originals(env, outcome)
+        victims = list(outcome.victim_files)
+        for name in victims:
+            plaintext = env.fs.read_file(name)
+            ciphertext = self._encrypt_bytes(plaintext)
+            lbas = env.fs.file_lbas(name)
+            with self._as_attacker(env):
+                env.fs.create_file(name + ".locked", ciphertext)
+                try:
+                    env.fs.delete_file(name, trim=True)
+                    outcome.pages_trimmed += len(lbas)
+                except (TrimRejectedError, SSDError):
+                    # Trim rejected (DISABLED mode): fall back to a plain
+                    # delete, which leaves the plaintext to normal GC.
+                    if env.fs.exists(name):
+                        env.fs.delete_file(name, trim=False)
+            outcome.pages_encrypted += (
+                len(plaintext) + env.blockdev.page_size - 1
+            ) // env.blockdev.page_size
+            env.clock.advance(self.inter_file_delay_us)
+        self._drop_ransom_note(env, outcome)
+        outcome.end_us = env.clock.now_us
+        return outcome

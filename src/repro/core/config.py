@@ -1,0 +1,92 @@
+"""Configuration of an RSSD device."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ssd.geometry import SSDGeometry
+from repro.ssd.latency import LatencyModel
+
+
+@dataclass(frozen=True)
+class RSSDConfig:
+    """All the knobs of an RSSD instance.
+
+    Attributes
+    ----------
+    geometry, latency:
+        SSD substrate parameters.
+    link_bandwidth_gbps, link_propagation_us:
+        NVMe-oE link to the remote tier.  The paper's prototype uses the
+        board's Ethernet port (1 GbE); retention time scales with this.
+    offload_batch_pages:
+        Retained pages packed into one offload capsule.
+    log_segment_entries:
+        Log entries per sealed, offloadable log segment.
+    checkpoint_interval:
+        Hash-chain checkpoint frequency (entries).
+    local_retention_fraction:
+        Fraction of over-provisioned capacity RSSD allows the local
+        stale-page pool to occupy before it starts throttling host
+        writes to let the offload path catch up.
+    storage_server_capacity_bytes:
+        Capacity of the nearby storage server; overflow goes to the
+        cloud object store.
+    gc_threshold_blocks:
+        Free-block threshold below which GC runs.
+    encryption_passphrase:
+        Key material for the offload path cipher (simulation only).
+    """
+
+    geometry: SSDGeometry = field(default_factory=SSDGeometry.small)
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    link_bandwidth_gbps: float = 1.0
+    link_propagation_us: float = 200.0
+    offload_batch_pages: int = 64
+    log_segment_entries: int = 512
+    checkpoint_interval: int = 256
+    local_retention_fraction: float = 0.6
+    storage_server_capacity_bytes: int = 4 * 1024**4
+    gc_threshold_blocks: int = 4
+    encryption_passphrase: str = "rssd-offload-key"
+
+    def __post_init__(self) -> None:
+        if self.link_bandwidth_gbps <= 0:
+            raise ValueError("link_bandwidth_gbps must be positive")
+        if self.offload_batch_pages < 1:
+            raise ValueError("offload_batch_pages must be at least 1")
+        if self.log_segment_entries < 1:
+            raise ValueError("log_segment_entries must be at least 1")
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be at least 1")
+        if not 0.0 < self.local_retention_fraction <= 1.0:
+            raise ValueError("local_retention_fraction must be within (0, 1]")
+        if self.gc_threshold_blocks < 2:
+            raise ValueError("gc_threshold_blocks must be at least 2")
+
+    @classmethod
+    def tiny(cls) -> "RSSDConfig":
+        """Minimal configuration for unit tests."""
+        return cls(
+            geometry=SSDGeometry.tiny(),
+            offload_batch_pages=8,
+            log_segment_entries=32,
+            checkpoint_interval=16,
+        )
+
+    @classmethod
+    def small(cls) -> "RSSDConfig":
+        """Small configuration for examples and integration tests."""
+        return cls(geometry=SSDGeometry.small())
+
+    @classmethod
+    def paper_prototype(cls) -> "RSSDConfig":
+        """Configuration approximating the paper's Cosmos+ OpenSSD prototype."""
+        return cls(
+            geometry=SSDGeometry.cosmos_openssd(),
+            latency=LatencyModel.cosmos_openssd(),
+            link_bandwidth_gbps=1.0,
+            offload_batch_pages=256,
+            log_segment_entries=4096,
+            checkpoint_interval=1024,
+        )

@@ -1,0 +1,159 @@
+"""Ransomware detection: local lightweight and remote offloaded.
+
+RSSD's position is that the device itself only needs *retention* to
+guarantee recovery; detection can therefore be conservative locally and
+thorough remotely, where the offloaded log and powerful servers allow
+long-horizon analysis that in-device detectors cannot afford.  Two
+detectors are provided:
+
+* :class:`LocalDetector` -- an in-firmware sliding-window detector in
+  the spirit of SSDInsider: cheap, looks at a short window of recent
+  writes, good at catching fast bulk encryption, easy to evade by
+  pacing the attack (the timing attack).
+* :class:`RemoteDetector` -- runs on the remote servers over the full
+  offloaded log; profiles each stream over its whole history, so pacing
+  does not help the attacker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.forensics import PostAttackAnalyzer, StreamProfile
+from repro.core.oplog import OperationLog
+from repro.crypto.entropy import EntropyWindow
+from repro.ssd.device import HostOp, HostOpType
+
+
+@dataclass
+class DetectionReport:
+    """Outcome of running a detector."""
+
+    detector: str
+    detected: bool
+    detection_time_us: Optional[int] = None
+    suspected_streams: List[int] = field(default_factory=list)
+    trigger: str = ""
+    operations_analyzed: int = 0
+
+
+class LocalDetector:
+    """In-device sliding-window detector (SSDInsider-style).
+
+    Registered as a device observer.  It flags the workload when, inside
+    a short window of recent writes, the fraction of encrypted-looking
+    overwrites exceeds a threshold at a sufficient rate.
+    """
+
+    def __init__(
+        self,
+        window_size: int = 64,
+        high_entropy_fraction: float = 0.7,
+        min_writes_per_second: float = 50.0,
+    ) -> None:
+        if not 0.0 < high_entropy_fraction <= 1.0:
+            raise ValueError("high_entropy_fraction must be within (0, 1]")
+        if min_writes_per_second <= 0:
+            raise ValueError("min_writes_per_second must be positive")
+        self.window = EntropyWindow(window_size=window_size)
+        self.high_entropy_fraction = high_entropy_fraction
+        self.min_writes_per_second = min_writes_per_second
+        self._window_timestamps: List[int] = []
+        self._window_size = window_size
+        self._detected_at: Optional[int] = None
+        self._ops_seen = 0
+        self._recent_streams: Dict[int, int] = {}
+
+    # -- observer interface ---------------------------------------------------------
+
+    def on_host_op(self, op: HostOp) -> None:
+        self._ops_seen += 1
+        if op.op_type is not HostOpType.WRITE or op.content is None:
+            return
+        self.window.observe(op.content.entropy)
+        self._window_timestamps.append(op.timestamp_us)
+        if len(self._window_timestamps) > self._window_size:
+            self._window_timestamps.pop(0)
+        self._recent_streams[op.stream_id] = self._recent_streams.get(op.stream_id, 0) + 1
+        if self._detected_at is None and self._window_is_suspicious():
+            self._detected_at = op.timestamp_us
+
+    def _window_is_suspicious(self) -> bool:
+        if not self.window.is_suspicious(
+            fraction_threshold=self.high_entropy_fraction
+        ):
+            return False
+        if len(self._window_timestamps) < 2:
+            return False
+        span_us = self._window_timestamps[-1] - self._window_timestamps[0]
+        if span_us <= 0:
+            return True
+        writes_per_second = len(self._window_timestamps) / (span_us / 1_000_000.0)
+        # A paced (timing) attack keeps the windowed write rate below the
+        # threshold, which is exactly how it evades this detector.
+        return writes_per_second >= self.min_writes_per_second
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def report(self) -> DetectionReport:
+        suspects = []
+        if self._detected_at is not None:
+            total = sum(self._recent_streams.values())
+            suspects = [
+                stream
+                for stream, count in self._recent_streams.items()
+                if total and count / total >= 0.2
+            ]
+        return DetectionReport(
+            detector="local-window",
+            detected=self._detected_at is not None,
+            detection_time_us=self._detected_at,
+            suspected_streams=sorted(suspects),
+            trigger="entropy-window" if self._detected_at is not None else "",
+            operations_analyzed=self._ops_seen,
+        )
+
+
+class RemoteDetector:
+    """Offloaded, full-history detector running on the remote servers."""
+
+    def __init__(
+        self,
+        oplog: OperationLog,
+        analyzer: Optional[PostAttackAnalyzer] = None,
+        entropy_fraction: float = 0.5,
+        min_writes: int = 8,
+    ) -> None:
+        self.oplog = oplog
+        self.analyzer = analyzer
+        self.entropy_fraction = entropy_fraction
+        self.min_writes = min_writes
+
+    def analyze(self) -> DetectionReport:
+        """Profile every stream over the full log and flag ransomware-like ones."""
+        entries = self.oplog.all_entries()
+        if self.analyzer is not None:
+            profiles = self.analyzer.profile_streams(entries)
+            suspects = self.analyzer.suspect_streams(
+                profiles,
+                min_writes=self.min_writes,
+                entropy_fraction=self.entropy_fraction,
+            )
+        else:
+            profiles = {}
+            suspects = []
+        detection_time = None
+        trigger = ""
+        if suspects:
+            suspect_entries = [e for e in entries if e.stream_id in suspects]
+            detection_time = min(e.timestamp_us for e in suspect_entries)
+            trigger = "full-history-profile"
+        return DetectionReport(
+            detector="remote-offloaded",
+            detected=bool(suspects),
+            detection_time_us=detection_time,
+            suspected_streams=suspects,
+            trigger=trigger,
+            operations_analyzed=len(entries),
+        )

@@ -1,0 +1,213 @@
+"""Trusted post-attack analysis.
+
+RSSD's hardware-assisted log captures every storage operation in
+arrival order and chains it cryptographically, so after an attack an
+investigator can (1) verify the log has not been tampered with,
+(2) reconstruct the exact sequence of operations that led to the
+attack, (3) backtrack the history of any logical page, and (4)
+attribute the attack to the host streams that issued it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.offload import OffloadEngine
+from repro.core.oplog import LogEntry, OperationLog
+from repro.sim import SimClock
+from repro.ssd.device import HostOpType
+
+
+@dataclass(frozen=True)
+class StreamProfile:
+    """Behavioural summary of one host stream, derived from the log."""
+
+    stream_id: int
+    operations: int
+    writes: int
+    trims: int
+    reads: int
+    high_entropy_writes: int
+    read_then_overwrite: int
+    first_us: int
+    last_us: int
+
+    @property
+    def high_entropy_fraction(self) -> float:
+        return self.high_entropy_writes / self.writes if self.writes else 0.0
+
+    @property
+    def duration_us(self) -> int:
+        return max(0, self.last_us - self.first_us)
+
+
+@dataclass
+class EvidenceChainReport:
+    """Result of reconstructing and verifying the evidence chain."""
+
+    total_entries: int
+    sealed_segments: int
+    offloaded_segments: int
+    chain_verified: bool
+    tampered_at: Optional[int]
+    reconstruction_us: float
+    attack_window_us: Optional[tuple]
+    suspected_streams: List[int] = field(default_factory=list)
+    stream_profiles: Dict[int, StreamProfile] = field(default_factory=dict)
+
+    @property
+    def reconstruction_seconds(self) -> float:
+        return self.reconstruction_us / 1_000_000.0
+
+
+class PostAttackAnalyzer:
+    """Builds the trusted evidence chain and answers forensic queries."""
+
+    #: Firmware/host-side cost of replaying one log entry during verification.
+    REPLAY_US_PER_ENTRY = 2.0
+    #: Entropy above which a logged write is counted as encrypted-looking.
+    HIGH_ENTROPY_THRESHOLD = 7.2
+
+    def __init__(
+        self,
+        oplog: OperationLog,
+        clock: SimClock,
+        offload: Optional[OffloadEngine] = None,
+    ) -> None:
+        self.oplog = oplog
+        self.clock = clock
+        self.offload = offload
+
+    # -- stream profiling ----------------------------------------------------------
+
+    def profile_streams(self, entries: Optional[List[LogEntry]] = None) -> Dict[int, StreamProfile]:
+        """Summarise per-stream behaviour over ``entries`` (default: whole log)."""
+        entries = entries if entries is not None else self.oplog.all_entries()
+        per_stream: Dict[int, List[LogEntry]] = {}
+        for entry in entries:
+            per_stream.setdefault(entry.stream_id, []).append(entry)
+        profiles: Dict[int, StreamProfile] = {}
+        for stream_id, stream_entries in per_stream.items():
+            writes = [e for e in stream_entries if e.op_type is HostOpType.WRITE]
+            trims = [e for e in stream_entries if e.op_type is HostOpType.TRIM]
+            reads = [e for e in stream_entries if e.op_type is HostOpType.READ]
+            high_entropy = [
+                e for e in writes if e.entropy >= self.HIGH_ENTROPY_THRESHOLD
+            ]
+            recently_read = set()
+            read_then_overwrite = 0
+            for entry in stream_entries:
+                pages = range(entry.lba, entry.lba + max(1, entry.npages))
+                if entry.op_type is HostOpType.READ:
+                    recently_read.update(pages)
+                elif entry.op_type is HostOpType.WRITE:
+                    if any(page in recently_read for page in pages):
+                        read_then_overwrite += 1
+            profiles[stream_id] = StreamProfile(
+                stream_id=stream_id,
+                operations=len(stream_entries),
+                writes=len(writes),
+                trims=len(trims),
+                reads=len(reads),
+                high_entropy_writes=len(high_entropy),
+                read_then_overwrite=read_then_overwrite,
+                first_us=min(e.timestamp_us for e in stream_entries),
+                last_us=max(e.timestamp_us for e in stream_entries),
+            )
+        return profiles
+
+    def suspect_streams(
+        self,
+        profiles: Optional[Dict[int, StreamProfile]] = None,
+        min_writes: int = 8,
+        entropy_fraction: float = 0.5,
+    ) -> List[int]:
+        """Streams whose behaviour matches encryption ransomware.
+
+        A stream is suspicious if a large fraction of its writes look
+        encrypted *and* it overwrites data it previously read, or if it
+        issues trims right after encrypted-looking writes.
+        """
+        profiles = profiles if profiles is not None else self.profile_streams()
+        suspects = []
+        for stream_id, profile in profiles.items():
+            if profile.writes < min_writes:
+                continue
+            encrypting = profile.high_entropy_fraction >= entropy_fraction
+            destroys_originals = profile.read_then_overwrite > 0 or profile.trims > 0
+            if encrypting and destroys_originals:
+                suspects.append(stream_id)
+        return sorted(suspects)
+
+    # -- evidence chain ---------------------------------------------------------------
+
+    def build_evidence_chain(
+        self, suspected_streams: Optional[List[int]] = None
+    ) -> EvidenceChainReport:
+        """Reconstruct the full operation sequence and verify its integrity."""
+        start_us = self.clock.now_us
+        entries = self.oplog.all_entries()
+        segments = self.oplog.sealed_segments()
+        offloaded = [segment for segment in segments if segment.offloaded]
+
+        # Segments already shipped to the remote tier must be fetched
+        # back before they can be replayed.
+        if offloaded and self.offload is not None:
+            total_entries = sum(segment.entry_count for segment in offloaded)
+            completion_us = self.offload.fetch_pages(
+                max(1, total_entries // 64), mean_compressed_page_bytes=4096
+            )
+            self.clock.advance_to(int(completion_us))
+
+        verified = self.oplog.verify_integrity(entries)
+        tampered_at = None if verified else self.oplog.find_tampering(entries)
+        self.clock.advance(int(self.REPLAY_US_PER_ENTRY * len(entries)))
+
+        profiles = self.profile_streams(entries)
+        suspects = (
+            suspected_streams
+            if suspected_streams is not None
+            else self.suspect_streams(profiles)
+        )
+        window = self._attack_window(entries, suspects)
+
+        return EvidenceChainReport(
+            total_entries=len(entries),
+            sealed_segments=len(segments),
+            offloaded_segments=len(offloaded),
+            chain_verified=verified,
+            tampered_at=tampered_at,
+            reconstruction_us=float(self.clock.now_us - start_us),
+            attack_window_us=window,
+            suspected_streams=suspects,
+            stream_profiles=profiles,
+        )
+
+    def _attack_window(
+        self, entries: List[LogEntry], suspects: List[int]
+    ) -> Optional[tuple]:
+        suspect_entries = [entry for entry in entries if entry.stream_id in suspects]
+        if not suspect_entries:
+            return None
+        return (
+            min(entry.timestamp_us for entry in suspect_entries),
+            max(entry.timestamp_us for entry in suspect_entries),
+        )
+
+    # -- per-page backtracking -----------------------------------------------------------
+
+    def backtrack_lba(self, lba: int) -> List[LogEntry]:
+        """Every logged operation that touched ``lba``, oldest first."""
+        return self.oplog.entries_for_lba(lba)
+
+    def last_clean_timestamp(self, lba: int, suspects: List[int]) -> Optional[int]:
+        """Timestamp of the last write to ``lba`` by a non-suspect stream."""
+        clean_writes = [
+            entry
+            for entry in self.backtrack_lba(lba)
+            if entry.op_type is HostOpType.WRITE and entry.stream_id not in suspects
+        ]
+        if not clean_writes:
+            return None
+        return max(entry.timestamp_us for entry in clean_writes)

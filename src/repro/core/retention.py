@@ -1,0 +1,170 @@
+"""Conservative retention of stale data.
+
+The :class:`RetentionManager` is RSSD's retention policy: every page
+invalidated by an overwrite *or a trim* is retained.  A stale page may
+only be physically destroyed after the offload engine has shipped it to
+the remote tier; until then garbage collection must preserve it.  The
+manager also keeps the version archive (local and offloaded) that the
+recovery engine searches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional
+
+from repro.ssd.ftl import FTL, InvalidationCause, StalePage
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.offload import OffloadEngine
+
+
+@dataclass
+class RetentionStats:
+    """Counters kept by the retention manager."""
+
+    stale_pages_seen: int = 0
+    pages_offloaded: int = 0
+    pages_released_after_offload: int = 0
+    pages_released_unoffloaded: int = 0
+    relocations: int = 0
+    reclaim_pressure_events: int = 0
+
+    @property
+    def data_loss_pages(self) -> int:
+        """Retained pages destroyed before reaching the remote tier.
+
+        RSSD's invariant is that this stays at zero; the counter exists
+        so tests can assert it and so misconfigured variants (used in
+        ablations) can be measured.
+        """
+        return self.pages_released_unoffloaded
+
+
+class RetentionManager:
+    """RSSD's retention policy plus the version archive.
+
+    Implements the :class:`repro.ssd.ftl.RetentionPolicy` protocol.
+    """
+
+    def __init__(
+        self,
+        offload_engine: Optional["OffloadEngine"] = None,
+        retain_trimmed: bool = True,
+    ) -> None:
+        self._offload_engine = offload_engine
+        #: RSSD's enhanced trim retains trimmed data; the trim ablation
+        #: disables this to measure what the enhancement buys.
+        self.retain_trimmed = retain_trimmed
+        self.stats = RetentionStats()
+        self._pending: Deque[StalePage] = deque()
+        self._archive: Dict[int, List[StalePage]] = {}
+        self._expendable: set = set()
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach_offload_engine(self, engine: "OffloadEngine") -> None:
+        """Connect the offload engine (done by the RSSD facade at build time)."""
+        self._offload_engine = engine
+
+    # -- RetentionPolicy protocol ------------------------------------------------
+
+    def on_invalidate(self, record: StalePage) -> None:
+        """Retain a newly stale page and queue it for offload, in time order."""
+        self.stats.stale_pages_seen += 1
+        if not self.retain_trimmed and record.cause is InvalidationCause.TRIM:
+            self._expendable.add(id(record))
+            return
+        self._pending.append(record)
+        self._archive.setdefault(record.lpn, []).append(record)
+
+    def may_release(self, record: StalePage) -> bool:
+        """Stale data may be destroyed only once it is safe on the remote tier."""
+        if id(record) in self._expendable:
+            return True
+        return record.offloaded
+
+    def on_release(self, record: StalePage) -> None:
+        if id(record) in self._expendable:
+            self._expendable.discard(id(record))
+            return
+        if record.offloaded:
+            self.stats.pages_released_after_offload += 1
+        else:
+            self.stats.pages_released_unoffloaded += 1
+
+    def on_relocate(self, record: StalePage, new_ppn: int) -> None:
+        self.stats.relocations += 1
+
+    def reclaim_pressure(self, ftl: FTL, needed_pages: int) -> int:
+        """GC cannot find releasable space: drain the offload path synchronously.
+
+        This is RSSD's answer to the GC attack -- instead of dropping
+        retained data, the device momentarily throttles foreground
+        writes while the NVMe-oE path catches up.
+        """
+        self.stats.reclaim_pressure_events += 1
+        if self._offload_engine is None:
+            return 0
+        target = max(needed_pages, self._offload_engine.batch_pages)
+        return self._offload_engine.drain(max_pages=target)
+
+    # -- offload integration ---------------------------------------------------------
+
+    def take_pending(self, max_pages: int) -> List[StalePage]:
+        """Hand up to ``max_pages`` un-offloaded stale pages, oldest first."""
+        if max_pages < 1:
+            raise ValueError("max_pages must be at least 1")
+        batch: List[StalePage] = []
+        while self._pending and len(batch) < max_pages:
+            record = self._pending.popleft()
+            if record.offloaded:
+                continue
+            batch.append(record)
+        return batch
+
+    def requeue(self, records: List[StalePage]) -> None:
+        """Put records back at the head of the queue (offload failure path)."""
+        for record in reversed(records):
+            self._pending.appendleft(record)
+
+    def mark_offloaded(self, records: List[StalePage]) -> None:
+        """Mark records as durably stored on the remote tier."""
+        for record in records:
+            record.offloaded = True
+            self.stats.pages_offloaded += 1
+
+    # -- queries -----------------------------------------------------------------------
+
+    @property
+    def pending_pages(self) -> int:
+        """Stale pages still waiting to be offloaded."""
+        return sum(1 for record in self._pending if not record.offloaded)
+
+    @property
+    def archived_lbas(self) -> int:
+        return len(self._archive)
+
+    @property
+    def archived_versions(self) -> int:
+        return sum(len(versions) for versions in self._archive.values())
+
+    def versions_for(self, lpn: int) -> List[StalePage]:
+        """Every retained stale version of ``lpn``, oldest first."""
+        versions = list(self._archive.get(lpn, []))
+        versions.sort(key=lambda record: record.version)
+        return versions
+
+    def latest_version_before(self, lpn: int, timestamp_us: int) -> Optional[StalePage]:
+        """Newest retained version of ``lpn`` written at or before ``timestamp_us``."""
+        best: Optional[StalePage] = None
+        for record in self._archive.get(lpn, []):
+            if record.written_us <= timestamp_us:
+                if best is None or record.written_us > best.written_us:
+                    best = record
+        return best
+
+    def retained_lbas(self) -> List[int]:
+        """All logical pages that have at least one retained old version."""
+        return sorted(self._archive)

@@ -1,0 +1,68 @@
+"""A keystream cipher used both by RSSD's offload path and by attack models.
+
+The cipher XORs plaintext with a SHA-256-derived keystream in counter
+mode.  It is symmetric (encrypt == decrypt with the same key and nonce),
+deterministic, and produces high-entropy output, which is all the
+simulation requires of it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterator
+
+
+def keystream_bytes(key: bytes, nonce: int, length: int) -> bytes:
+    """Generate ``length`` keystream bytes for (``key``, ``nonce``)."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if not key:
+        raise ValueError("key must not be empty")
+    blocks = []
+    counter = 0
+    produced = 0
+    while produced < length:
+        block = hashlib.sha256(
+            key + nonce.to_bytes(16, "big", signed=False) + counter.to_bytes(8, "big")
+        ).digest()
+        blocks.append(block)
+        produced += len(block)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+class StreamCipher:
+    """Counter-mode XOR cipher with a per-message nonce."""
+
+    def __init__(self, key: bytes) -> None:
+        if not key:
+            raise ValueError("key must not be empty")
+        self._key = bytes(key)
+
+    @property
+    def key_fingerprint(self) -> str:
+        """Short identifier of the key (safe to log)."""
+        return hashlib.sha256(self._key).hexdigest()[:16]
+
+    def encrypt(self, plaintext: bytes, nonce: int) -> bytes:
+        """Encrypt ``plaintext`` under the given message nonce."""
+        if nonce < 0:
+            raise ValueError("nonce must be non-negative")
+        stream = keystream_bytes(self._key, nonce, len(plaintext))
+        return bytes(p ^ s for p, s in zip(plaintext, stream))
+
+    def decrypt(self, ciphertext: bytes, nonce: int) -> bytes:
+        """Decrypt ``ciphertext`` (identical to :meth:`encrypt` for XOR)."""
+        return self.encrypt(ciphertext, nonce)
+
+    def encrypt_stream(self, chunks: Iterator[bytes], nonce: int) -> Iterator[bytes]:
+        """Encrypt an iterator of chunks under one logical message nonce."""
+        offset_nonce = nonce
+        for chunk in chunks:
+            yield self.encrypt(chunk, offset_nonce)
+            offset_nonce += 1
+
+    @classmethod
+    def from_passphrase(cls, passphrase: str) -> "StreamCipher":
+        """Derive a cipher from a human passphrase (attack-sample convenience)."""
+        return cls(hashlib.sha256(passphrase.encode("utf-8")).digest())

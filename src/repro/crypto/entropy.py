@@ -1,0 +1,102 @@
+"""Entropy estimation used by ransomware detectors.
+
+Detection baselines (UNVEIL, CryptoDrop, SSDInsider) flag writes whose
+content entropy jumps relative to the data being replaced.  The
+classifier here works on either real payloads or descriptor-only pages
+(which carry a pre-computed entropy estimate).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.ssd.flash import PageContent, shannon_entropy
+
+
+@dataclass(frozen=True)
+class EntropyVerdict:
+    """Result of classifying one write."""
+
+    entropy: float
+    looks_encrypted: bool
+    delta_vs_previous: Optional[float] = None
+
+
+class EntropyClassifier:
+    """Classify page contents as plausibly-encrypted or not."""
+
+    def __init__(self, encrypted_threshold: float = 7.2, jump_threshold: float = 2.0) -> None:
+        if not 0.0 < encrypted_threshold <= 8.0:
+            raise ValueError("encrypted_threshold must be within (0, 8]")
+        if jump_threshold < 0.0:
+            raise ValueError("jump_threshold must be non-negative")
+        self.encrypted_threshold = encrypted_threshold
+        self.jump_threshold = jump_threshold
+
+    def entropy_of(self, content: PageContent) -> float:
+        """Entropy of a page, computed from bytes when available."""
+        if content.payload is not None:
+            return shannon_entropy(content.payload)
+        return content.entropy
+
+    def classify(
+        self, content: PageContent, previous: Optional[PageContent] = None
+    ) -> EntropyVerdict:
+        """Classify a write, optionally comparing against the data it replaces."""
+        entropy = self.entropy_of(content)
+        delta = None
+        looks_encrypted = entropy >= self.encrypted_threshold
+        if previous is not None:
+            delta = entropy - self.entropy_of(previous)
+            looks_encrypted = looks_encrypted and delta >= 0
+        return EntropyVerdict(
+            entropy=entropy, looks_encrypted=looks_encrypted, delta_vs_previous=delta
+        )
+
+
+class EntropyWindow:
+    """Sliding window over recent write entropies.
+
+    Detectors use the window to distinguish a burst of high-entropy
+    writes (ransomware encrypting files) from occasional compressed or
+    media writes in normal workloads.
+    """
+
+    def __init__(self, window_size: int = 128) -> None:
+        if window_size < 1:
+            raise ValueError("window_size must be at least 1")
+        self.window_size = window_size
+        self._window: Deque[float] = deque(maxlen=window_size)
+
+    def observe(self, entropy: float) -> None:
+        """Add one write's entropy to the window."""
+        if not 0.0 <= entropy <= 8.0:
+            raise ValueError("entropy must be within [0, 8]")
+        self._window.append(entropy)
+
+    @property
+    def count(self) -> int:
+        return len(self._window)
+
+    @property
+    def mean(self) -> float:
+        if not self._window:
+            return 0.0
+        return sum(self._window) / len(self._window)
+
+    def high_entropy_fraction(self, threshold: float = 7.2) -> float:
+        """Fraction of windowed writes that exceed ``threshold``."""
+        if not self._window:
+            return 0.0
+        high = sum(1 for value in self._window if value >= threshold)
+        return high / len(self._window)
+
+    def is_suspicious(
+        self, fraction_threshold: float = 0.6, entropy_threshold: float = 7.2
+    ) -> bool:
+        """True when the window is dominated by encrypted-looking writes."""
+        if len(self._window) < self.window_size // 2:
+            return False
+        return self.high_entropy_fraction(entropy_threshold) >= fraction_threshold

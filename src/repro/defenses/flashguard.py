@@ -1,0 +1,59 @@
+"""FlashGuard-like hardware baseline.
+
+FlashGuard (CCS'17) keeps, inside the FTL, the old copies of pages that
+were *read and then overwritten* -- the tell-tale access pattern of
+encryption ransomware -- for a bounded number of days.  It defends
+against classic ransomware and survives the GC attack (its retained set
+is small and it refuses to give it up under capacity pressure), but a
+paced attack outlives its retention window and trimmed data is never
+retained at all.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Set
+
+from repro.defenses.base import HardwareDefense
+from repro.sim import US_PER_DAY
+from repro.ssd.device import HostOp, HostOpType
+from repro.ssd.ftl import InvalidationCause, StalePage
+
+
+class FlashGuardDefense(HardwareDefense):
+    """Retain read-then-overwritten pages for a bounded window."""
+
+    name = "FlashGuard"
+    hardware_isolated = True
+    supports_forensics = False
+
+    #: FlashGuard's evaluation retains data up to a couple of days.
+    window_us = 3 * US_PER_DAY
+    capacity_pages = 262_144
+    pin_under_pressure = True
+    eager_trim_gc = True
+
+    #: How many recently read pages the firmware remembers.
+    READ_TRACKING_ENTRIES = 65_536
+
+    def __init__(self, *args, **kwargs) -> None:
+        self._recently_read: Deque[int] = deque(maxlen=self.READ_TRACKING_ENTRIES)
+        self._recently_read_set: Set[int] = set()
+        super().__init__(*args, **kwargs)
+
+    def on_host_op(self, op: HostOp) -> None:
+        if op.op_type is HostOpType.READ:
+            for offset in range(max(1, op.npages)):
+                lba = op.lba + offset
+                if lba not in self._recently_read_set:
+                    if len(self._recently_read) == self._recently_read.maxlen:
+                        evicted = self._recently_read.popleft()
+                        self._recently_read_set.discard(evicted)
+                    self._recently_read.append(lba)
+                    self._recently_read_set.add(lba)
+
+    def _should_retain(self, record: StalePage) -> bool:
+        return (
+            record.cause is InvalidationCause.OVERWRITE
+            and record.lpn in self._recently_read_set
+        )

@@ -1,0 +1,280 @@
+"""Capability matrix: the measured version of the paper's Table 1.
+
+For every (defense, attack) pair the harness builds a fresh victim
+environment, lets a background user work on the files for a while,
+optionally lets the attacker disable host-resident defenses (aggressive
+attacks run with administrator privilege), executes the attack, and
+then asks the defense to produce the pre-attack version of every victim
+page.  The fraction it can produce is the measured recovery capability;
+``✔`` / ``✗`` and ``●`` / ``◗`` / ``❍`` are derived from it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.attacks.base import AttackEnvironment, AttackOutcome, build_environment
+from repro.attacks.classic import ClassicRansomware, DestructionMode
+from repro.attacks.gc_attack import GCAttack
+from repro.attacks.timing_attack import TimingAttack
+from repro.attacks.trimming_attack import TrimmingAttack
+from repro.defenses.base import Defense
+from repro.defenses.flashguard import FlashGuardDefense
+from repro.defenses.rblocker import RBlockerDefense
+from repro.defenses.rssd_adapter import RSSDDefense
+from repro.defenses.software import (
+    CloudBackupDefense,
+    CryptoDropDefense,
+    JournalingFSDefense,
+    ShieldFSDefense,
+    UnveilDefense,
+)
+from repro.defenses.ssdinsider import SSDInsiderDefense
+from repro.defenses.timessd import TimeSSDDefense
+from repro.defenses.unprotected import UnprotectedSSD
+from repro.sim import SimClock, US_PER_HOUR
+from repro.ssd.geometry import SSDGeometry
+
+#: Recovery fraction at or above which an attack counts as "defended".
+DEFENDED_THRESHOLD = 0.99
+#: Recovery fraction at or above which CloudBackup-style partial recovery
+#: still counts as a meaningful defense (the paper's half-filled circles).
+PARTIAL_THRESHOLD = 0.50
+
+
+def recovery_grade(fraction: float) -> str:
+    """Map a recovery fraction to the paper's ● / ◗ / ❍ symbols."""
+    if fraction >= DEFENDED_THRESHOLD:
+        return "●"
+    if fraction >= 0.05:
+        return "◗"
+    return "❍"
+
+
+@dataclass
+class CapabilityCell:
+    """Outcome of one (defense, attack) scenario."""
+
+    attack: str
+    recovery_fraction: float
+    defended: bool
+    detected: bool
+    compromised: bool
+    victim_pages: int
+    pages_recovered: int
+    attack_duration_us: int
+
+    @property
+    def symbol(self) -> str:
+        """✔ when the attack was defended (possibly partially for backups)."""
+        if self.defended:
+            return "✔"
+        if self.recovery_fraction >= PARTIAL_THRESHOLD:
+            return "✔"
+        return "✗"
+
+
+@dataclass
+class MatrixRow:
+    """One defense's row of the capability matrix."""
+
+    defense: str
+    hardware_isolated: bool
+    supports_forensics: bool
+    cells: Dict[str, CapabilityCell] = field(default_factory=dict)
+
+    @property
+    def recovery_symbol(self) -> str:
+        """Overall recovery grade across every attack the row was scored on.
+
+        ``●`` means every attack was fully recoverable, ``◗`` means at
+        least one attack was (partially) recoverable, ``❍`` means the
+        defense could not restore anything for any attack.
+        """
+        if not self.cells:
+            return "❍"
+        worst = min(cell.recovery_fraction for cell in self.cells.values())
+        best = max(cell.recovery_fraction for cell in self.cells.values())
+        if worst >= DEFENDED_THRESHOLD:
+            return "●"
+        if best >= 0.05:
+            return "◗"
+        return "❍"
+
+
+DefenseFactory = Callable[[SSDGeometry, SimClock], Defense]
+AttackFactory = Callable[[], object]
+
+
+def default_defense_factories() -> Dict[str, DefenseFactory]:
+    """Factories for every row of Table 1 (plus the unprotected floor)."""
+    return {
+        "LocalSSD": lambda geometry, clock: UnprotectedSSD(geometry=geometry, clock=clock),
+        "Unveil": lambda geometry, clock: UnveilDefense(geometry=geometry, clock=clock),
+        "CryptoDrop": lambda geometry, clock: CryptoDropDefense(geometry=geometry, clock=clock),
+        "CloudBackup": lambda geometry, clock: CloudBackupDefense(geometry=geometry, clock=clock),
+        "ShieldFS": lambda geometry, clock: ShieldFSDefense(geometry=geometry, clock=clock),
+        "JFS": lambda geometry, clock: JournalingFSDefense(geometry=geometry, clock=clock),
+        "FlashGuard": lambda geometry, clock: FlashGuardDefense(geometry=geometry, clock=clock),
+        "TimeSSD": lambda geometry, clock: TimeSSDDefense(geometry=geometry, clock=clock),
+        "SSDInsider": lambda geometry, clock: SSDInsiderDefense(geometry=geometry, clock=clock),
+        "RBlocker": lambda geometry, clock: RBlockerDefense(geometry=geometry, clock=clock),
+        "RSSD": lambda geometry, clock: RSSDDefense(geometry=geometry, clock=clock),
+    }
+
+
+def default_attack_factories(seed: int = 97) -> Dict[str, AttackFactory]:
+    """Factories for the attack columns of the matrix."""
+    return {
+        "classic": lambda: ClassicRansomware(destruction=DestructionMode.OVERWRITE, seed=seed),
+        "gc-attack": lambda: GCAttack(seed=seed),
+        "timing-attack": lambda: TimingAttack(seed=seed),
+        "trimming-attack": lambda: TrimmingAttack(seed=seed),
+    }
+
+
+class CapabilityMatrix:
+    """Runs attack x defense scenarios and assembles the matrix."""
+
+    def __init__(
+        self,
+        geometry: Optional[SSDGeometry] = None,
+        victim_files: int = 24,
+        file_size_bytes: int = 8192,
+        user_activity_hours: float = 30.0,
+        recent_edit_fraction: float = 0.3,
+        seed: int = 23,
+    ) -> None:
+        self.geometry = geometry if geometry is not None else SSDGeometry.tiny()
+        self.victim_files = victim_files
+        self.file_size_bytes = file_size_bytes
+        self.user_activity_hours = user_activity_hours
+        self.recent_edit_fraction = recent_edit_fraction
+        self.seed = seed
+
+    # -- scenario pieces ---------------------------------------------------------
+
+    def _user_activity(self, env: AttackEnvironment) -> None:
+        """Simulate a user working on the files before the attack.
+
+        Edits are spread over ``user_activity_hours``; a final burst of
+        edits lands shortly before the attack so that snapshot-based
+        defenses have changes they have not yet backed up -- the reason
+        backup recovery is partial rather than complete.
+        """
+        rng = random.Random(self.seed + 1)
+        files = env.fs.list_files()
+        if not files:
+            return
+        sessions = 6
+        session_gap_us = int(self.user_activity_hours * US_PER_HOUR / sessions)
+        for session in range(sessions):
+            env.clock.advance(session_gap_us)
+            for name in rng.sample(files, max(1, len(files) // 4)):
+                data = env.fs.read_file(name)
+                edited = data[: len(data) // 2] + b" edited v%d " % session + data[len(data) // 2 :]
+                env.fs.overwrite_file(name, edited[: len(data)])
+        # Recent, not-yet-backed-up edits right before the attack.
+        recent = rng.sample(files, max(1, int(len(files) * self.recent_edit_fraction)))
+        env.clock.advance(US_PER_HOUR // 2)
+        for name in recent:
+            data = env.fs.read_file(name)
+            edited = (b"last minute change " + data)[: len(data)]
+            env.fs.overwrite_file(name, edited)
+        env.clock.advance(US_PER_HOUR // 4)
+
+    def run_scenario(
+        self, defense_factory: DefenseFactory, attack_factory: AttackFactory
+    ) -> CapabilityCell:
+        """Run one (defense, attack) scenario and score it."""
+        clock = SimClock()
+        defense = defense_factory(self.geometry, clock)
+        env = build_environment(
+            defense.device,
+            victim_files=self.victim_files,
+            file_size_bytes=self.file_size_bytes,
+            seed=self.seed,
+        )
+        self._user_activity(env)
+        attack = attack_factory()
+        compromised = False
+        if getattr(attack, "aggressive", False):
+            compromised = defense.compromise()
+        outcome: AttackOutcome = attack.execute(env)
+        fraction, recovered = self._score_recovery(defense, env, outcome)
+        return CapabilityCell(
+            attack=outcome.attack_name,
+            recovery_fraction=fraction,
+            defended=fraction >= DEFENDED_THRESHOLD,
+            detected=defense.detect(),
+            compromised=compromised,
+            victim_pages=len(outcome.victim_lbas),
+            pages_recovered=recovered,
+            attack_duration_us=outcome.duration_us,
+        )
+
+    def _score_recovery(
+        self, defense: Defense, env: AttackEnvironment, outcome: AttackOutcome
+    ):
+        recovered = 0
+        total = 0
+        for lba in outcome.victim_lbas:
+            original = outcome.original_fingerprints.get(lba)
+            if original is None:
+                continue
+            total += 1
+            live = env.device.read_content(lba)  # type: ignore[attr-defined]
+            if live is not None and live.fingerprint == original:
+                recovered += 1
+                continue
+            version = defense.pre_attack_version(lba, outcome.start_us)
+            if version is not None and version.fingerprint == original:
+                recovered += 1
+        fraction = recovered / total if total else 0.0
+        return fraction, recovered
+
+    # -- full matrix -----------------------------------------------------------------
+
+    def run(
+        self,
+        defense_factories: Optional[Dict[str, DefenseFactory]] = None,
+        attack_factories: Optional[Dict[str, AttackFactory]] = None,
+    ) -> List[MatrixRow]:
+        defenses = defense_factories if defense_factories is not None else default_defense_factories()
+        attacks = attack_factories if attack_factories is not None else default_attack_factories()
+        rows: List[MatrixRow] = []
+        for defense_name, defense_factory in defenses.items():
+            probe = defense_factory(self.geometry, SimClock())
+            row = MatrixRow(
+                defense=defense_name,
+                hardware_isolated=probe.hardware_isolated,
+                supports_forensics=probe.supports_forensics,
+            )
+            for attack_name, attack_factory in attacks.items():
+                row.cells[attack_name] = self.run_scenario(defense_factory, attack_factory)
+            rows.append(row)
+        return rows
+
+    @staticmethod
+    def format_table(rows: List[MatrixRow]) -> str:
+        """Render the matrix the way the paper's Table 1 is laid out."""
+        header = (
+            f"{'Defense':<12} {'GC':>4} {'Timing':>7} {'Trimming':>9} "
+            f"{'Recovery':>9} {'Forensics':>10}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in rows:
+            gc = row.cells.get("gc-attack")
+            timing = row.cells.get("timing-attack")
+            trimming = row.cells.get("trimming-attack")
+            lines.append(
+                f"{row.defense:<12} "
+                f"{gc.symbol if gc else '-':>4} "
+                f"{timing.symbol if timing else '-':>7} "
+                f"{trimming.symbol if trimming else '-':>9} "
+                f"{row.recovery_symbol:>9} "
+                f"{'✔' if row.supports_forensics else '✗':>10}"
+            )
+        return "\n".join(lines)

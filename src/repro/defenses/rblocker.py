@@ -1,0 +1,53 @@
+"""RBlocker-like hardware baseline.
+
+RBlocker couples an in-firmware detector with write *blocking*: once a
+burst of suspicious overwrites is recognised, further writes from the
+offending pattern are refused and the small set of buffered old pages
+is restored.  Against the new attacks it shares SSDInsider's fate: the
+detector is pattern-based (evaded by pacing), the buffer is small
+(evicted by a capacity flood) and trim is not covered.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.entropy import EntropyWindow
+from repro.defenses.base import HardwareDefense
+from repro.sim import US_PER_MINUTE
+from repro.ssd.device import HostOp, HostOpType
+from repro.ssd.ftl import InvalidationCause, StalePage
+
+
+class RBlockerDefense(HardwareDefense):
+    """In-firmware detector that blocks suspicious write bursts."""
+
+    name = "RBlocker"
+    hardware_isolated = True
+    supports_forensics = False
+
+    window_us = 60 * US_PER_MINUTE
+    capacity_pages = 4_096
+    pin_under_pressure = False
+    eager_trim_gc = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        self._entropy_window = EntropyWindow(window_size=96)
+        self._detected = False
+        self.blocked_writes = 0
+        super().__init__(*args, **kwargs)
+
+    def on_host_op(self, op: HostOp) -> None:
+        if op.op_type is HostOpType.WRITE and op.content is not None:
+            self._entropy_window.observe(op.content.entropy)
+            if self._entropy_window.is_suspicious(fraction_threshold=0.7):
+                self._detected = True
+            elif self._detected:
+                # Once triggered, RBlocker throttles/blocks further bursty
+                # writes; the counter records how often that would happen.
+                if op.content.entropy >= 7.2:
+                    self.blocked_writes += 1
+
+    def detect(self) -> bool:
+        return self._detected
+
+    def _should_retain(self, record: StalePage) -> bool:
+        return record.cause is InvalidationCause.OVERWRITE

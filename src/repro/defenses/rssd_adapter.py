@@ -1,0 +1,68 @@
+"""RSSD exposed through the defense interface.
+
+The capability-matrix harness talks to every row of Table 1 through the
+:class:`~repro.defenses.base.Defense` interface; this adapter lets the
+full RSSD device (retention + logging + offload + recovery + forensics)
+be scored in exactly the same runs as the baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import RSSDConfig
+from repro.core.rssd import RSSD
+from repro.defenses.base import Defense
+from repro.sim import SimClock
+from repro.ssd.flash import PageContent
+from repro.ssd.geometry import SSDGeometry
+
+
+class RSSDDefense(Defense):
+    """The paper's device, adapted to the defense interface."""
+
+    name = "RSSD"
+    hardware_isolated = True
+    supports_forensics = True
+
+    def __init__(
+        self,
+        geometry: Optional[SSDGeometry] = None,
+        clock: Optional[SimClock] = None,
+        config: Optional[RSSDConfig] = None,
+    ) -> None:
+        self._config_override = config
+        super().__init__(geometry=geometry, clock=clock)
+
+    def _build_device(self) -> RSSD:
+        if self._config_override is not None:
+            config = self._config_override
+        else:
+            config = RSSDConfig(geometry=self.geometry)
+        self.rssd = RSSD(config=config, clock=self.clock)
+        return self.rssd
+
+    # -- Defense interface ----------------------------------------------------------
+
+    def pre_attack_version(self, lba: int, attack_start_us: int) -> Optional[PageContent]:
+        # Live data that predates the attack counts as its own pre-attack
+        # version (the attacker never touched it).
+        live = self.rssd.ssd.ftl.lookup(lba)
+        if live is not None and live.written_us <= attack_start_us:
+            return self.rssd.ssd.flash.read(live.ppn)
+        version = self.rssd.retention.latest_version_before(lba, attack_start_us)
+        if version is None:
+            return None
+        if version.released and not version.offloaded:
+            # Never happens by construction (the retention invariant), but
+            # the honest answer if it did would be "lost".
+            return None
+        return version.content
+
+    def detect(self) -> bool:
+        report = self.rssd.detect()
+        local = self.rssd.local_detector.report()
+        return report.detected or local.detected
+
+    def forensic_report(self):
+        return self.rssd.investigate()

@@ -1,0 +1,274 @@
+"""Software (host-resident) baseline defenses.
+
+These run above the block interface, so they share two structural
+weaknesses the paper calls out: a privileged attacker can disable them,
+and they can only keep the copies they explicitly made (backups,
+copy-on-write snapshots, journals), never the flash-level history.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.crypto.entropy import EntropyWindow
+from repro.defenses.base import SoftwareDefense
+from repro.sim import US_PER_HOUR, US_PER_MINUTE
+from repro.ssd.device import HostOp, HostOpType
+from repro.ssd.flash import PageContent
+
+
+class UnveilDefense(SoftwareDefense):
+    """UNVEIL-like detection-only defense.
+
+    Watches write entropy in a sliding window (the paper's Unveil
+    generates artificial user environments and monitors file access
+    patterns; at block level the observable is the same: a burst of
+    high-entropy overwrites).  It never keeps data, so recovery is
+    impossible even when detection succeeds.
+    """
+
+    name = "Unveil"
+    supports_forensics = False
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._window = EntropyWindow(window_size=64)
+        self._detected = False
+
+    def on_host_op(self, op: HostOp) -> None:
+        if self.compromised:
+            return
+        if op.op_type is HostOpType.WRITE and op.content is not None:
+            self._window.observe(op.content.entropy)
+            if self._window.is_suspicious(fraction_threshold=0.7):
+                self._detected = True
+
+    def detect(self) -> bool:
+        return self._detected and not self.compromised
+
+    def pre_attack_version(self, lba: int, attack_start_us: int) -> Optional[PageContent]:
+        return None
+
+
+class CryptoDropDefense(SoftwareDefense):
+    """CryptoDrop-like detection-only defense.
+
+    Combines several indicators (entropy jump, overwrite of recently
+    read data, file-type "churn" approximated by distinct LBAs touched)
+    and flags when enough indicators fire together.  No data retention.
+    """
+
+    name = "CryptoDrop"
+    supports_forensics = False
+
+    def __init__(self, *args, indicator_threshold: int = 2, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.indicator_threshold = indicator_threshold
+        self._recently_read: Deque[int] = deque(maxlen=512)
+        self._high_entropy_overwrites = 0
+        self._read_then_overwrite = 0
+        self._lbas_touched: set = set()
+        self._detected = False
+
+    def on_host_op(self, op: HostOp) -> None:
+        if self.compromised:
+            return
+        pages = range(op.lba, op.lba + max(1, op.npages))
+        if op.op_type is HostOpType.READ:
+            self._recently_read.extend(pages)
+        elif op.op_type is HostOpType.WRITE and op.content is not None:
+            self._lbas_touched.update(pages)
+            if op.content.entropy >= 7.2:
+                self._high_entropy_overwrites += 1
+                if any(page in self._recently_read for page in pages):
+                    self._read_then_overwrite += 1
+            self._evaluate()
+
+    def _evaluate(self) -> None:
+        indicators = 0
+        if self._high_entropy_overwrites >= 16:
+            indicators += 1
+        if self._read_then_overwrite >= 8:
+            indicators += 1
+        if len(self._lbas_touched) >= 64:
+            indicators += 1
+        if indicators >= self.indicator_threshold:
+            self._detected = True
+
+    def detect(self) -> bool:
+        return self._detected and not self.compromised
+
+    def pre_attack_version(self, lba: int, attack_start_us: int) -> Optional[PageContent]:
+        return None
+
+
+class CloudBackupDefense(SoftwareDefense):
+    """Periodic cloud backup driven by a host agent.
+
+    Changed pages are uploaded at every snapshot interval.  Because the
+    agent and its credentials live on the host, an aggressive attacker
+    deletes the remote copies (or poisons them) when it compromises the
+    machine; a stealthy (timing) attacker leaves the backups alone but
+    the victim still loses everything written since the last snapshot.
+    """
+
+    name = "CloudBackup"
+    supports_forensics = False
+
+    def __init__(
+        self,
+        *args,
+        snapshot_interval_us: int = 6 * US_PER_HOUR,
+        max_versions_per_page: int = 8,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if snapshot_interval_us <= 0:
+            raise ValueError("snapshot_interval_us must be positive")
+        if max_versions_per_page < 1:
+            raise ValueError("max_versions_per_page must be at least 1")
+        self.snapshot_interval_us = snapshot_interval_us
+        self.max_versions_per_page = max_versions_per_page
+        self._dirty: Dict[int, PageContent] = {}
+        self._uploaded: Dict[int, List[Tuple[int, PageContent]]] = {}
+        self._last_snapshot_us = 0
+        self.snapshots_taken = 0
+
+    def on_host_op(self, op: HostOp) -> None:
+        if self.compromised:
+            return
+        if op.op_type is HostOpType.WRITE and op.content is not None:
+            for offset in range(max(1, op.npages)):
+                self._dirty[op.lba + offset] = op.content
+        if op.timestamp_us - self._last_snapshot_us >= self.snapshot_interval_us:
+            self._take_snapshot(op.timestamp_us)
+
+    def _take_snapshot(self, now_us: int) -> None:
+        for lba, content in self._dirty.items():
+            versions = self._uploaded.setdefault(lba, [])
+            versions.append((now_us, content))
+            while len(versions) > self.max_versions_per_page:
+                versions.pop(0)
+        self._dirty.clear()
+        self._last_snapshot_us = now_us
+        self.snapshots_taken += 1
+
+    def _on_compromised(self) -> None:
+        # The attacker uses the agent's credentials to wipe the remote copies.
+        self._uploaded.clear()
+        self._dirty.clear()
+
+    def pre_attack_version(self, lba: int, attack_start_us: int) -> Optional[PageContent]:
+        if self.compromised:
+            return None
+        best: Optional[Tuple[int, PageContent]] = None
+        for snapshot_us, content in self._uploaded.get(lba, []):
+            if snapshot_us <= attack_start_us:
+                if best is None or snapshot_us > best[0]:
+                    best = (snapshot_us, content)
+        return best[1] if best is not None else None
+
+
+class ShieldFSDefense(SoftwareDefense):
+    """ShieldFS-like copy-on-write shim in the host file-system layer.
+
+    Keeps the old copy of every overwritten page for a bounded decision
+    window while its detector makes up its mind; copies older than the
+    window are dropped to bound space.  A paced attack simply outlives
+    the window, and a privileged attacker unloads the driver.
+    """
+
+    name = "ShieldFS"
+    supports_forensics = False
+
+    def __init__(self, *args, window_us: int = 12 * US_PER_HOUR, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if window_us <= 0:
+            raise ValueError("window_us must be positive")
+        self.window_us = window_us
+        self._copies: Dict[int, List[Tuple[int, int, PageContent]]] = {}
+        self._window = EntropyWindow(window_size=64)
+        self._detected = False
+
+    def on_host_op(self, op: HostOp) -> None:
+        if self.compromised:
+            return
+        if op.op_type is not HostOpType.WRITE or op.content is None:
+            return
+        for offset in range(max(1, op.npages)):
+            lba = op.lba + offset
+            # The CoW store keeps every version written while it is loaded;
+            # answering "data as of time T" from it is equivalent to keeping
+            # the displaced old copy at each overwrite, and both are subject
+            # to the same window-based expiry.
+            history = self._copies.setdefault(lba, [])
+            history.append((op.timestamp_us, op.timestamp_us, op.content))
+            self._expire(lba, op.timestamp_us)
+        self._window.observe(op.content.entropy)
+        if self._window.is_suspicious(fraction_threshold=0.7):
+            self._detected = True
+
+    def _expire(self, lba: int, now_us: int) -> None:
+        history = self._copies.get(lba, [])
+        self._copies[lba] = [
+            item for item in history if now_us - item[0] <= self.window_us
+        ]
+
+    def _on_compromised(self) -> None:
+        self._copies.clear()
+
+    def detect(self) -> bool:
+        return self._detected and not self.compromised
+
+    def pre_attack_version(self, lba: int, attack_start_us: int) -> Optional[PageContent]:
+        if self.compromised:
+            return None
+        now_us = self.clock.now_us
+        best: Optional[Tuple[int, PageContent]] = None
+        for created_us, written_us, content in self._copies.get(lba, []):
+            if now_us - created_us > self.window_us:
+                continue
+            if written_us <= attack_start_us:
+                if best is None or written_us > best[0]:
+                    best = (written_us, content)
+        return best[1] if best is not None else None
+
+
+class JournalingFSDefense(SoftwareDefense):
+    """A journaling file system (e.g. JFS/ext4-style data journaling).
+
+    The journal holds only the most recent writes and is recycled
+    continuously, so by the time an attack is noticed the pre-attack
+    data has long been overwritten in the journal as well.
+    """
+
+    name = "JFS"
+    supports_forensics = False
+
+    def __init__(self, *args, journal_pages: int = 128, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if journal_pages < 1:
+            raise ValueError("journal_pages must be at least 1")
+        self.journal_pages = journal_pages
+        self._journal: Deque[Tuple[int, int, PageContent]] = deque(maxlen=journal_pages)
+
+    def on_host_op(self, op: HostOp) -> None:
+        if self.compromised:
+            return
+        if op.op_type is HostOpType.WRITE and op.content is not None:
+            for offset in range(max(1, op.npages)):
+                self._journal.append((op.lba + offset, op.timestamp_us, op.content))
+
+    def _on_compromised(self) -> None:
+        self._journal.clear()
+
+    def pre_attack_version(self, lba: int, attack_start_us: int) -> Optional[PageContent]:
+        if self.compromised:
+            return None
+        best: Optional[Tuple[int, PageContent]] = None
+        for journal_lba, written_us, content in self._journal:
+            if journal_lba == lba and written_us <= attack_start_us:
+                if best is None or written_us > best[0]:
+                    best = (written_us, content)
+        return best[1] if best is not None else None

@@ -1,0 +1,48 @@
+"""SSDInsider-like hardware baseline.
+
+SSDInsider detects ransomware inside the firmware from short-horizon
+write patterns and reverts recent writes once it triggers.  Its
+retention is therefore a small, short-lived staging buffer: big enough
+to undo a detected burst, far too small (and too short-lived) to
+survive a capacity flood, a paced attack, or trim-based erasure.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.entropy import EntropyWindow
+from repro.defenses.base import HardwareDefense
+from repro.sim import US_PER_MINUTE
+from repro.ssd.device import HostOp, HostOpType
+from repro.ssd.ftl import InvalidationCause, StalePage
+
+
+class SSDInsiderDefense(HardwareDefense):
+    """In-firmware detector with a small short-term undo buffer."""
+
+    name = "SSDInsider"
+    hardware_isolated = True
+    supports_forensics = False
+
+    window_us = 30 * US_PER_MINUTE
+    capacity_pages = 2_048
+    #: The undo buffer is best-effort: under GC pressure it gives the
+    #: space back rather than stalling the drive.
+    pin_under_pressure = False
+    eager_trim_gc = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        self._entropy_window = EntropyWindow(window_size=64)
+        self._detected = False
+        super().__init__(*args, **kwargs)
+
+    def on_host_op(self, op: HostOp) -> None:
+        if op.op_type is HostOpType.WRITE and op.content is not None:
+            self._entropy_window.observe(op.content.entropy)
+            if self._entropy_window.is_suspicious(fraction_threshold=0.75):
+                self._detected = True
+
+    def detect(self) -> bool:
+        return self._detected
+
+    def _should_retain(self, record: StalePage) -> bool:
+        return record.cause is InvalidationCause.OVERWRITE

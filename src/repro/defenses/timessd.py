@@ -1,0 +1,31 @@
+"""TimeSSD-like hardware baseline.
+
+TimeSSD retains *every* page invalidated by an overwrite -- suspicious
+or not -- but only within a fixed time window sized to the device's
+spare capacity.  Like FlashGuard it pins its retained set when GC asks
+for the space back (so the GC attack only slows the drive down), but a
+timing attack that spreads encryption beyond the window wins, and trim
+is handled the commodity way.
+"""
+
+from __future__ import annotations
+
+from repro.defenses.base import HardwareDefense
+from repro.sim import US_PER_DAY
+from repro.ssd.ftl import InvalidationCause, StalePage
+
+
+class TimeSSDDefense(HardwareDefense):
+    """Retain all overwritten data within a bounded time window."""
+
+    name = "TimeSSD"
+    hardware_isolated = True
+    supports_forensics = False
+
+    window_us = 2 * US_PER_DAY
+    capacity_pages = 262_144
+    pin_under_pressure = True
+    eager_trim_gc = True
+
+    def _should_retain(self, record: StalePage) -> bool:
+        return record.cause is InvalidationCause.OVERWRITE

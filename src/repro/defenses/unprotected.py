@@ -1,0 +1,23 @@
+"""An unprotected commodity SSD, used as the floor of every comparison."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.defenses.base import Defense
+from repro.ssd.device import SSD
+from repro.ssd.flash import PageContent
+
+
+class UnprotectedSSD(Defense):
+    """No detection, no retention, commodity trim behaviour."""
+
+    name = "LocalSSD"
+    hardware_isolated = True  # there is simply nothing to compromise
+    supports_forensics = False
+
+    def _build_device(self) -> SSD:
+        return SSD(geometry=self.geometry, clock=self.clock, eager_trim_gc=True)
+
+    def pre_attack_version(self, lba: int, attack_start_us: int) -> Optional[PageContent]:
+        return None

@@ -1,0 +1,77 @@
+"""I/O scheduler: merges multiple process streams into one device queue.
+
+The timing attack hides its encryption writes *between* normal user
+requests; the scheduler is what produces that interleaved view at the
+device, so detectors only ever see the merged stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.workloads.records import TraceRecord
+
+
+@dataclass(frozen=True)
+class StreamShare:
+    """Fraction of the merged queue each stream contributed."""
+
+    stream_id: int
+    records: int
+    fraction: float
+
+
+class IOScheduler:
+    """Timestamp-ordered merge of several per-process traces."""
+
+    def __init__(self, max_queue_depth: int = 128) -> None:
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1")
+        self.max_queue_depth = max_queue_depth
+
+    def merge(self, streams: Sequence[Iterable[TraceRecord]]) -> List[TraceRecord]:
+        """Merge per-stream traces into one queue ordered by timestamp.
+
+        Ties are broken by stream order so the merge is deterministic.
+        """
+        merged: List[TraceRecord] = []
+        for stream_index, stream in enumerate(streams):
+            for record in stream:
+                merged.append((record.timestamp_us, stream_index, record))  # type: ignore[arg-type]
+        merged.sort(key=lambda item: (item[0], item[1]))  # type: ignore[index]
+        return [item[2] for item in merged]  # type: ignore[index]
+
+    def shares(self, records: Sequence[TraceRecord]) -> Dict[int, StreamShare]:
+        """Per-stream share of a merged queue."""
+        counts: Dict[int, int] = {}
+        for record in records:
+            counts[record.stream_id] = counts.get(record.stream_id, 0) + 1
+        total = len(records)
+        return {
+            stream_id: StreamShare(
+                stream_id=stream_id,
+                records=count,
+                fraction=count / total if total else 0.0,
+            )
+            for stream_id, count in counts.items()
+        }
+
+    def interleave_ratio(
+        self, records: Sequence[TraceRecord], suspect_stream: int
+    ) -> float:
+        """How "hidden" a suspect stream is: fraction of its requests that are
+        immediately preceded and followed by another stream's requests."""
+        hidden = 0
+        suspect_positions = [
+            index for index, record in enumerate(records) if record.stream_id == suspect_stream
+        ]
+        for position in suspect_positions:
+            before_ok = position == 0 or records[position - 1].stream_id != suspect_stream
+            after_ok = (
+                position == len(records) - 1
+                or records[position + 1].stream_id != suspect_stream
+            )
+            if before_ok and after_ok:
+                hidden += 1
+        return hidden / len(suspect_positions) if suspect_positions else 0.0

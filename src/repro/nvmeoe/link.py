@@ -1,0 +1,92 @@
+"""Network link model: bandwidth, propagation latency, utilisation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim import SimClock, US_PER_SECOND
+from repro.nvmeoe.frame import DEFAULT_MTU, wire_bytes_for_payload
+
+
+@dataclass
+class LinkStats:
+    """Traffic counters for one link."""
+
+    payload_bytes_sent: int = 0
+    wire_bytes_sent: int = 0
+    transfers: int = 0
+    busy_us: float = 0.0
+
+    def utilization(self, elapsed_us: float) -> float:
+        """Fraction of ``elapsed_us`` the link spent transmitting."""
+        if elapsed_us <= 0:
+            return 0.0
+        return min(1.0, self.busy_us / elapsed_us)
+
+
+class NetworkLink:
+    """A point-to-point Ethernet link between the SSD NIC and a remote target.
+
+    The link serialises transfers: a new transfer starts no earlier than
+    the completion of the previous one, which is how sustained offload
+    throughput is bounded by link bandwidth.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        bandwidth_gbps: float = 1.0,
+        propagation_us: float = 200.0,
+        mtu: int = DEFAULT_MTU,
+    ) -> None:
+        if bandwidth_gbps <= 0:
+            raise ValueError("bandwidth_gbps must be positive")
+        if propagation_us < 0:
+            raise ValueError("propagation_us must be non-negative")
+        self.clock = clock
+        self.bandwidth_gbps = bandwidth_gbps
+        self.propagation_us = propagation_us
+        self.mtu = mtu
+        self.stats = LinkStats()
+        self._busy_until_us: float = 0.0
+
+    @property
+    def bytes_per_us(self) -> float:
+        """Link capacity in bytes per microsecond."""
+        return self.bandwidth_gbps * 1e9 / 8.0 / US_PER_SECOND
+
+    def serialization_us(self, payload_bytes: int) -> float:
+        """Time to push ``payload_bytes`` (plus framing) onto the wire."""
+        wire_bytes = wire_bytes_for_payload(payload_bytes, mtu=self.mtu)
+        return wire_bytes / self.bytes_per_us
+
+    def transfer(self, payload_bytes: int) -> float:
+        """Submit a transfer and return its completion timestamp (us).
+
+        The transfer queues behind any in-flight transfer; the returned
+        timestamp is when the last byte arrives at the remote end.  The
+        simulation clock is *not* advanced -- offloading is asynchronous
+        with respect to host I/O.
+        """
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        start_us = max(float(self.clock.now_us), self._busy_until_us)
+        serialization = self.serialization_us(payload_bytes)
+        self._busy_until_us = start_us + serialization
+        completion = self._busy_until_us + self.propagation_us
+        self.stats.transfers += 1
+        self.stats.payload_bytes_sent += payload_bytes
+        self.stats.wire_bytes_sent += wire_bytes_for_payload(payload_bytes, mtu=self.mtu)
+        self.stats.busy_us += serialization
+        return completion
+
+    def backlog_us(self) -> float:
+        """How far ahead of the clock the link is already committed."""
+        return max(0.0, self._busy_until_us - self.clock.now_us)
+
+    def sustained_throughput_bytes_per_s(self) -> float:
+        """Achievable payload throughput after framing overhead."""
+        payload_per_frame = self.mtu
+        wire_per_frame = payload_per_frame + 18
+        efficiency = payload_per_frame / wire_per_frame
+        return self.bandwidth_gbps * 1e9 / 8.0 * efficiency

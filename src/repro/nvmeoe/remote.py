@@ -1,0 +1,188 @@
+"""Remote targets for the NVMe-oE offload path.
+
+Two kinds of remote tier are modelled, matching the paper's setup of
+Amazon S3 plus local storage servers:
+
+* :class:`ObjectStore` -- an S3-like key/value object store with
+  effectively unbounded capacity and immutable, versioned objects.
+* :class:`StorageServer` -- an append-only segment server with a finite
+  capacity, representing an on-premise storage box.
+
+Both record arrival order so the time-ordering guarantee that the
+evidence chain depends on can be verified end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.nvmeoe.protocol import Capsule, CapsuleType
+
+
+@dataclass(frozen=True)
+class RemoteObject:
+    """One stored object (an offload capsule body) on a remote target."""
+
+    key: str
+    size_bytes: int
+    entries: int
+    arrival_us: float
+    sequence: int
+    capsule_type: CapsuleType
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+class RemoteTargetError(Exception):
+    """Raised when a remote target cannot accept or serve a request."""
+
+
+class ObjectStore:
+    """S3-like object store: durable, versioned, effectively unbounded."""
+
+    def __init__(self, name: str = "s3://rssd-retention") -> None:
+        self.name = name
+        self._objects: Dict[str, RemoteObject] = {}
+        self._arrival_order: List[str] = []
+
+    @property
+    def object_count(self) -> int:
+        return len(self._objects)
+
+    @property
+    def stored_bytes(self) -> int:
+        return sum(obj.size_bytes for obj in self._objects.values())
+
+    @property
+    def stored_entries(self) -> int:
+        return sum(obj.entries for obj in self._objects.values())
+
+    def put_capsule(self, capsule: Capsule, arrival_us: float) -> RemoteObject:
+        """Store one capsule body as an immutable object."""
+        key = f"{capsule.capsule_type.value}/{capsule.sequence:012d}"
+        if key in self._objects:
+            raise RemoteTargetError(f"object {key} already exists (immutable store)")
+        obj = RemoteObject(
+            key=key,
+            size_bytes=capsule.wire_payload_bytes,
+            entries=capsule.entries,
+            arrival_us=arrival_us,
+            sequence=capsule.sequence,
+            capsule_type=capsule.capsule_type,
+            metadata=dict(capsule.metadata),
+        )
+        self._objects[key] = obj
+        self._arrival_order.append(key)
+        return obj
+
+    def get(self, key: str) -> RemoteObject:
+        if key not in self._objects:
+            raise RemoteTargetError(f"object {key} not found")
+        return self._objects[key]
+
+    def list_keys(self, prefix: str = "") -> List[str]:
+        """List keys with the given prefix, in arrival order."""
+        return [key for key in self._arrival_order if key.startswith(prefix)]
+
+    def arrivals(self) -> List[RemoteObject]:
+        """Objects in the order they arrived."""
+        return [self._objects[key] for key in self._arrival_order]
+
+    def verify_time_order(self) -> bool:
+        """Check arrivals are ordered by both timestamp and capsule sequence."""
+        arrivals = self.arrivals()
+        for earlier, later in zip(arrivals, arrivals[1:]):
+            if later.arrival_us < earlier.arrival_us:
+                return False
+        page_seqs = [
+            obj.sequence
+            for obj in arrivals
+            if obj.capsule_type is CapsuleType.OFFLOAD_PAGES
+        ]
+        return all(b > a for a, b in zip(page_seqs, page_seqs[1:]))
+
+
+class StorageServer:
+    """Append-only storage server with finite capacity."""
+
+    def __init__(self, name: str = "storage-server-0", capacity_bytes: int = 4 * 1024**4) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self._segments: List[RemoteObject] = []
+
+    @property
+    def stored_bytes(self) -> int:
+        return sum(segment.size_bytes for segment in self._segments)
+
+    @property
+    def stored_entries(self) -> int:
+        return sum(segment.entries for segment in self._segments)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.stored_bytes
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    def append_capsule(self, capsule: Capsule, arrival_us: float) -> RemoteObject:
+        """Append one capsule body as a new immutable segment."""
+        size = capsule.wire_payload_bytes
+        if size > self.free_bytes:
+            raise RemoteTargetError(
+                f"{self.name} is full: {size} bytes requested, {self.free_bytes} free"
+            )
+        segment = RemoteObject(
+            key=f"{self.name}/segment-{len(self._segments):08d}",
+            size_bytes=size,
+            entries=capsule.entries,
+            arrival_us=arrival_us,
+            sequence=capsule.sequence,
+            capsule_type=capsule.capsule_type,
+            metadata=dict(capsule.metadata),
+        )
+        self._segments.append(segment)
+        return segment
+
+    def segments(self) -> List[RemoteObject]:
+        return list(self._segments)
+
+    def verify_time_order(self) -> bool:
+        """Segments must be strictly append-ordered by arrival time."""
+        return all(
+            later.arrival_us >= earlier.arrival_us
+            for earlier, later in zip(self._segments, self._segments[1:])
+        )
+
+
+class TieredRemote:
+    """A remote tier that fills a finite storage server first, then spills to S3.
+
+    Matches the paper's deployment where nearby storage servers absorb the
+    offload stream at low latency and the cloud provides unbounded capacity.
+    """
+
+    def __init__(self, server: Optional[StorageServer] = None, cloud: Optional[ObjectStore] = None) -> None:
+        self.server = server if server is not None else StorageServer()
+        self.cloud = cloud if cloud is not None else ObjectStore()
+
+    @property
+    def stored_bytes(self) -> int:
+        return self.server.stored_bytes + self.cloud.stored_bytes
+
+    @property
+    def stored_entries(self) -> int:
+        return self.server.stored_entries + self.cloud.stored_entries
+
+    def store_capsule(self, capsule: Capsule, arrival_us: float) -> RemoteObject:
+        """Store a capsule on the server if it fits, otherwise in the cloud."""
+        try:
+            return self.server.append_capsule(capsule, arrival_us)
+        except RemoteTargetError:
+            return self.cloud.put_capsule(capsule, arrival_us)
+
+    def verify_time_order(self) -> bool:
+        return self.server.verify_time_order() and self.cloud.verify_time_order()

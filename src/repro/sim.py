@@ -1,0 +1,163 @@
+"""Shared simulation primitives.
+
+All subsystems (SSD, NIC, link, remote targets) advance a single
+:class:`SimClock`.  The clock counts microseconds as integers so that
+event ordering is exact and reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+US_PER_MS = 1_000
+US_PER_SECOND = 1_000_000
+US_PER_MINUTE = 60 * US_PER_SECOND
+US_PER_HOUR = 60 * US_PER_MINUTE
+US_PER_DAY = 24 * US_PER_HOUR
+
+
+class SimClock:
+    """A monotonically advancing microsecond clock shared by all models.
+
+    The clock never goes backwards.  ``advance`` moves time forward by a
+    delta; ``advance_to`` moves it to an absolute timestamp and is a
+    no-op if that timestamp is already in the past.
+    """
+
+    def __init__(self, start_us: int = 0) -> None:
+        if start_us < 0:
+            raise ValueError("clock cannot start at a negative time")
+        self._now_us = int(start_us)
+
+    @property
+    def now_us(self) -> int:
+        """Current simulated time in microseconds."""
+        return self._now_us
+
+    @property
+    def now_seconds(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now_us / US_PER_SECOND
+
+    @property
+    def now_days(self) -> float:
+        """Current simulated time in days."""
+        return self._now_us / US_PER_DAY
+
+    def advance(self, delta_us: int) -> int:
+        """Advance the clock by ``delta_us`` microseconds and return *now*."""
+        if delta_us < 0:
+            raise ValueError("cannot advance the clock by a negative delta")
+        self._now_us += int(delta_us)
+        return self._now_us
+
+    def advance_to(self, timestamp_us: int) -> int:
+        """Advance the clock to ``timestamp_us`` if it is in the future."""
+        if timestamp_us > self._now_us:
+            self._now_us = int(timestamp_us)
+        return self._now_us
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"SimClock(now_us={self._now_us})"
+
+
+@dataclass(order=True)
+class _Event:
+    timestamp_us: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+
+
+class EventQueue:
+    """A tiny discrete-event queue layered on top of :class:`SimClock`.
+
+    Most of the simulator is trace driven (the caller replays a trace
+    record by record), but background activities -- garbage collection,
+    offload draining, periodic checkpoints -- are naturally expressed as
+    scheduled events.  The queue keeps events sorted by timestamp and
+    breaks ties by insertion order so runs are deterministic.
+    """
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._events: List[_Event] = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def schedule(self, delay_us: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay_us`` after the current time."""
+        if delay_us < 0:
+            raise ValueError("cannot schedule an event in the past")
+        self.schedule_at(self._clock.now_us + delay_us, callback)
+
+    def schedule_at(self, timestamp_us: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at an absolute timestamp."""
+        if timestamp_us < self._clock.now_us:
+            raise ValueError("cannot schedule an event in the past")
+        import heapq
+
+        heapq.heappush(
+            self._events, _Event(int(timestamp_us), self._sequence, callback)
+        )
+        self._sequence += 1
+
+    def run_until(self, timestamp_us: int) -> int:
+        """Run every event scheduled at or before ``timestamp_us``.
+
+        Returns the number of events executed.  The clock is advanced to
+        each event's timestamp before its callback runs and finally to
+        ``timestamp_us``.
+        """
+        import heapq
+
+        executed = 0
+        while self._events and self._events[0].timestamp_us <= timestamp_us:
+            event = heapq.heappop(self._events)
+            self._clock.advance_to(event.timestamp_us)
+            event.callback()
+            executed += 1
+        self._clock.advance_to(timestamp_us)
+        return executed
+
+    def next_timestamp(self) -> Optional[int]:
+        """Timestamp of the earliest pending event, or ``None`` if empty."""
+        if not self._events:
+            return None
+        return self._events[0].timestamp_us
+
+
+def format_duration(us: float) -> str:
+    """Format a microsecond duration as a human-readable string."""
+    if us < US_PER_MS:
+        return f"{us:.0f}us"
+    if us < US_PER_SECOND:
+        return f"{us / US_PER_MS:.2f}ms"
+    if us < US_PER_MINUTE:
+        return f"{us / US_PER_SECOND:.2f}s"
+    if us < US_PER_HOUR:
+        return f"{us / US_PER_MINUTE:.2f}min"
+    if us < US_PER_DAY:
+        return f"{us / US_PER_HOUR:.2f}h"
+    return f"{us / US_PER_DAY:.2f}days"
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    """Return the ``fraction`` percentile of an already sorted list.
+
+    Uses linear interpolation between closest ranks.  Returns 0.0 for an
+    empty list so metric reporting never raises on idle devices.
+    """
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("percentile fraction must be within [0, 1]")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = fraction * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    weight = position - lower
+    return sorted_values[lower] * (1.0 - weight) + sorted_values[upper] * weight

@@ -1,0 +1,393 @@
+"""The SSD block device.
+
+:class:`SSD` glues the substrate together: flash array, FTL, garbage
+collector, wear leveler, DRAM write buffer, latency model and metrics.
+It exposes the block interface every higher layer uses -- ``read``,
+``write``, ``trim``, ``flush`` -- and two extension points that the
+ransomware defenses are built on:
+
+* a *retention policy* (``ftl.retention_policy``) deciding whether stale
+  flash pages may be physically destroyed, and
+* *observers* that see every host operation in arrival order (used by
+  detection baselines and by RSSD's hardware-assisted log).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Union
+
+from repro.sim import SimClock
+from repro.ssd.dram import WriteBuffer
+from repro.ssd.errors import OutOfRangeError
+from repro.ssd.flash import FlashArray, PageContent
+from repro.ssd.ftl import FTL, PassthroughRetention, RetentionPolicy, StalePage
+from repro.ssd.gc import GarbageCollector, GCResult, GreedyGC
+from repro.ssd.geometry import SSDGeometry
+from repro.ssd.latency import LatencyModel
+from repro.ssd.metrics import DeviceMetrics
+from repro.ssd.wearlevel import StaticWearLeveler
+
+
+class HostOpType(enum.Enum):
+    """Host command types observed at the device interface."""
+
+    READ = "read"
+    WRITE = "write"
+    TRIM = "trim"
+    FLUSH = "flush"
+
+
+@dataclass(frozen=True)
+class HostOp:
+    """One completed host command, as seen by observers.
+
+    Observers receive these in exactly the order the device processed
+    them, which is the ordering property RSSD's evidence chain relies
+    on.
+    """
+
+    sequence: int
+    op_type: HostOpType
+    lba: int
+    npages: int
+    timestamp_us: int
+    latency_us: float
+    content: Optional[PageContent] = None
+    stream_id: int = 0
+
+
+class IOObserver(Protocol):
+    """Anything that wants to watch host operations (detectors, loggers)."""
+
+    def on_host_op(self, op: HostOp) -> None:
+        """Called after the device completes each host command."""
+
+
+DataLike = Union[bytes, PageContent, Sequence[PageContent]]
+
+
+class SSD:
+    """A simulated SSD with a page-granular block interface.
+
+    Logical addresses are page indices (one LBA == one flash page).  A
+    ``write`` with a ``bytes`` payload longer than one page spans
+    consecutive LBAs.
+    """
+
+    def __init__(
+        self,
+        geometry: Optional[SSDGeometry] = None,
+        latency: Optional[LatencyModel] = None,
+        clock: Optional[SimClock] = None,
+        retention_policy: Optional[RetentionPolicy] = None,
+        gc: Optional[GarbageCollector] = None,
+        write_buffer: Optional[WriteBuffer] = None,
+        gc_threshold_blocks: int = 4,
+        eager_trim_gc: bool = True,
+    ) -> None:
+        self.geometry = geometry if geometry is not None else SSDGeometry.small()
+        self.latency = latency if latency is not None else LatencyModel()
+        self.clock = clock if clock is not None else SimClock()
+        self.flash = FlashArray(self.geometry)
+        self.ftl = FTL(
+            self.geometry,
+            self.flash,
+            self.clock,
+            retention_policy=retention_policy,
+            gc_threshold_blocks=gc_threshold_blocks,
+        )
+        self.gc = gc if gc is not None else GreedyGC()
+        self.wear_leveler = StaticWearLeveler()
+        self.write_buffer = write_buffer if write_buffer is not None else WriteBuffer()
+        self.metrics = DeviceMetrics()
+        self.eager_trim_gc = eager_trim_gc
+        self.op_overhead_us: Dict[HostOpType, float] = {
+            op_type: 0.0 for op_type in HostOpType
+        }
+        self.gc_time_us: float = 0.0
+        self._observers: List[IOObserver] = []
+        self._sequence = 0
+
+    # -- configuration -------------------------------------------------------
+
+    @property
+    def capacity_pages(self) -> int:
+        """Host-visible capacity in logical pages."""
+        return self.geometry.exported_pages
+
+    @property
+    def page_size(self) -> int:
+        return self.geometry.page_size
+
+    def set_retention_policy(self, policy: RetentionPolicy) -> None:
+        """Install a retention policy (used by defenses layered on the device)."""
+        self.ftl.retention_policy = policy
+
+    def add_observer(self, observer: IOObserver) -> None:
+        """Register an observer that sees every completed host command."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: IOObserver) -> None:
+        self._observers.remove(observer)
+
+    def add_op_overhead(self, op_type: HostOpType, extra_us: float) -> None:
+        """Add a fixed per-command latency overhead (e.g. RSSD log append)."""
+        if extra_us < 0:
+            raise ValueError("extra_us must be non-negative")
+        self.op_overhead_us[op_type] += extra_us
+
+    # -- host interface --------------------------------------------------------
+
+    def read(self, lba: int, npages: int = 1, stream_id: int = 0) -> bytes:
+        """Read ``npages`` logical pages starting at ``lba``.
+
+        Unmapped pages and descriptor-only pages read back as zeros, so
+        callers that care about content identity should prefer
+        :meth:`read_content`.
+        """
+        self._check_range(lba, npages)
+        chunks: List[bytes] = []
+        total_latency = self.op_overhead_us[HostOpType.READ]
+        for offset in range(npages):
+            content = self.ftl.read(lba + offset)
+            if content is not None and content.payload is not None:
+                chunk = content.payload.ljust(self.page_size, b"\x00")
+            else:
+                chunk = b"\x00" * self.page_size
+            chunks.append(chunk)
+            if content is None:
+                total_latency += self.latency.dram_access_us
+            else:
+                total_latency += self.latency.read_page_us(self.page_size)
+            self.metrics.flash_pages_read += 1
+        self._complete_op(
+            HostOpType.READ, lba, npages, total_latency, content=None, stream_id=stream_id
+        )
+        self.metrics.host_reads += 1
+        self.metrics.host_pages_read += npages
+        return b"".join(chunks)
+
+    def read_content(self, lba: int) -> Optional[PageContent]:
+        """Return the live content descriptor of ``lba`` without latency accounting."""
+        self._check_range(lba, 1)
+        return self.ftl.read(lba)
+
+    def write(self, lba: int, data: DataLike, stream_id: int = 0) -> HostOp:
+        """Write ``data`` starting at logical page ``lba``.
+
+        ``data`` may be raw bytes (split across pages), a single
+        :class:`PageContent`, or a sequence of page contents.
+        """
+        contents = self._to_page_contents(data)
+        self._check_range(lba, len(contents))
+        total_latency = self.op_overhead_us[HostOpType.WRITE]
+        for offset, content in enumerate(contents):
+            # Large requests can span several erase blocks; keep the free
+            # pool above the GC threshold page by page so a single burst
+            # cannot exhaust the allocator mid-request.
+            if self.ftl.needs_gc():
+                self._run_gc(force=False)
+            self.ftl.write(lba + offset, content)
+            self.metrics.flash_pages_programmed += 1
+            if self.write_buffer.admit(self.clock.now_us):
+                total_latency += (
+                    self.latency.controller_us
+                    + self.latency.dram_access_us
+                    + self.latency.transfer_us(content.length)
+                )
+            else:
+                total_latency += self.latency.program_page_us(self.page_size)
+        self.metrics.host_writes += 1
+        self.metrics.host_pages_written += len(contents)
+        op = self._complete_op(
+            HostOpType.WRITE,
+            lba,
+            len(contents),
+            total_latency,
+            content=contents[0],
+            stream_id=stream_id,
+        )
+        self._maybe_collect()
+        return op
+
+    def trim(self, lba: int, npages: int = 1, stream_id: int = 0) -> List[StalePage]:
+        """Trim ``npages`` logical pages starting at ``lba``.
+
+        On an unmodified SSD, trimmed data becomes immediately
+        reclaimable and (with ``eager_trim_gc``) is physically erased at
+        the next GC pass -- the behaviour the trimming attack exploits.
+        """
+        self._check_range(lba, npages)
+        records: List[StalePage] = []
+        total_latency = self.op_overhead_us[HostOpType.TRIM] + self.latency.controller_us
+        for offset in range(npages):
+            record = self.ftl.trim(lba + offset)
+            if record is not None:
+                records.append(record)
+            total_latency += self.latency.dram_access_us
+        self.metrics.host_trims += 1
+        self.metrics.host_pages_trimmed += npages
+        self._complete_op(
+            HostOpType.TRIM, lba, npages, total_latency, content=None, stream_id=stream_id
+        )
+        if self.eager_trim_gc and records:
+            self._run_gc(force=True)
+        else:
+            self._maybe_collect()
+        return records
+
+    def flush(self, stream_id: int = 0) -> int:
+        """Flush the DRAM write buffer.  Returns the number of pages destaged."""
+        destaged = self.write_buffer.flush(self.clock.now_us)
+        latency = (
+            self.op_overhead_us[HostOpType.FLUSH]
+            + self.latency.controller_us
+            + destaged * self.latency.program_us * 0.1
+        )
+        self.metrics.host_flushes += 1
+        self._complete_op(HostOpType.FLUSH, 0, 0, latency, content=None, stream_id=stream_id)
+        return destaged
+
+    # -- background machinery ----------------------------------------------------
+
+    def _maybe_collect(self) -> None:
+        if self.ftl.needs_gc():
+            self._run_gc(force=False)
+        # Static wear leveling copies live data around, so it only runs when
+        # the free pool has comfortable headroom beyond the GC threshold.
+        if (
+            self.ftl.allocator.free_blocks > self.ftl.gc_threshold_blocks + 2
+            and self.wear_leveler.should_run(self.flash)
+        ):
+            moved = self.wear_leveler.run(self.ftl)
+            self.metrics.gc_pages_relocated += moved
+
+    def _run_gc(self, force: bool) -> GCResult:
+        result = self.gc.collect(self.ftl, force=force)
+        self.metrics.gc_invocations += 1
+        self.metrics.gc_pages_relocated += result.pages_relocated
+        self.metrics.gc_stale_pages_preserved += result.stale_pages_preserved
+        self.metrics.gc_stale_pages_released += result.stale_pages_released
+        self.metrics.flash_pages_programmed += result.pages_relocated
+        self.metrics.flash_blocks_erased += result.blocks_erased
+        gc_latency = (
+            result.pages_relocated * self.latency.copyback_page_us(self.page_size)
+            + result.blocks_erased * self.latency.erase_block_us()
+        )
+        self.gc_time_us += gc_latency
+        self.clock.advance(int(gc_latency))
+        self.metrics.retained_pages_current = self.ftl.stale_pages
+        return result
+
+    def run_gc_now(self, force: bool = True) -> GCResult:
+        """Run a GC pass on demand (used by tests and the trim ablation)."""
+        return self._run_gc(force=force)
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _to_page_contents(self, data: DataLike) -> List[PageContent]:
+        if isinstance(data, PageContent):
+            return [data]
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            raw = bytes(data)
+            if not raw:
+                raise ValueError("cannot write an empty payload")
+            return [
+                PageContent.from_bytes(raw[offset : offset + self.page_size])
+                for offset in range(0, len(raw), self.page_size)
+            ]
+        contents = list(data)
+        if not contents:
+            raise ValueError("cannot write an empty sequence of pages")
+        if not all(isinstance(content, PageContent) for content in contents):
+            raise TypeError("sequence writes must contain PageContent items")
+        return contents
+
+    def _check_range(self, lba: int, npages: int) -> None:
+        if npages < 0:
+            raise ValueError("npages must be non-negative")
+        if lba < 0 or lba + max(npages, 1) > self.capacity_pages:
+            raise OutOfRangeError(
+                f"LBA range [{lba}, {lba + npages}) outside device capacity "
+                f"{self.capacity_pages} pages"
+            )
+
+    def _complete_op(
+        self,
+        op_type: HostOpType,
+        lba: int,
+        npages: int,
+        latency_us: float,
+        content: Optional[PageContent],
+        stream_id: int,
+    ) -> HostOp:
+        self.clock.advance(int(latency_us))
+        op = HostOp(
+            sequence=self._sequence,
+            op_type=op_type,
+            lba=lba,
+            npages=npages,
+            timestamp_us=self.clock.now_us,
+            latency_us=latency_us,
+            content=content,
+            stream_id=stream_id,
+        )
+        self._sequence += 1
+        self.metrics.record_latency(op_type.value, latency_us)
+        for observer in self._observers:
+            observer.on_host_op(op)
+        return op
+
+
+class SSDBuilder:
+    """Fluent builder for SSD instances used throughout tests and examples."""
+
+    def __init__(self) -> None:
+        self._geometry = SSDGeometry.small()
+        self._latency = LatencyModel()
+        self._clock: Optional[SimClock] = None
+        self._retention: Optional[RetentionPolicy] = None
+        self._gc: Optional[GarbageCollector] = None
+        self._gc_threshold = 4
+        self._eager_trim_gc = True
+
+    def with_geometry(self, geometry: SSDGeometry) -> "SSDBuilder":
+        self._geometry = geometry
+        return self
+
+    def with_latency(self, latency: LatencyModel) -> "SSDBuilder":
+        self._latency = latency
+        return self
+
+    def with_clock(self, clock: SimClock) -> "SSDBuilder":
+        self._clock = clock
+        return self
+
+    def with_retention_policy(self, policy: RetentionPolicy) -> "SSDBuilder":
+        self._retention = policy
+        return self
+
+    def with_gc(self, gc: GarbageCollector) -> "SSDBuilder":
+        self._gc = gc
+        return self
+
+    def with_gc_threshold(self, blocks: int) -> "SSDBuilder":
+        self._gc_threshold = blocks
+        return self
+
+    def with_eager_trim_gc(self, enabled: bool) -> "SSDBuilder":
+        self._eager_trim_gc = enabled
+        return self
+
+    def build(self) -> SSD:
+        return SSD(
+            geometry=self._geometry,
+            latency=self._latency,
+            clock=self._clock,
+            retention_policy=self._retention,
+            gc=self._gc,
+            gc_threshold_blocks=self._gc_threshold,
+            eager_trim_gc=self._eager_trim_gc,
+        )

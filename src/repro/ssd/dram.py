@@ -1,0 +1,75 @@
+"""On-board DRAM write buffer model.
+
+Commodity SSDs acknowledge writes from an on-board DRAM buffer and
+destage them to flash asynchronously, which is why host-visible write
+latency sits far below the NAND program time.  The buffer here is a
+token-bucket style model: while the buffer has headroom, host writes
+complete at DRAM latency; when the buffer is saturated (sustained write
+bursts), host writes are exposed to the full program latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class WriteBufferStats:
+    """Counters kept by the write buffer."""
+
+    buffered_writes: int = 0
+    exposed_writes: int = 0
+    drained_pages: int = 0
+
+
+class WriteBuffer:
+    """A fixed-capacity page buffer that drains at the flash program rate."""
+
+    def __init__(self, capacity_pages: int = 256, drain_rate_pages_per_ms: float = 4.0) -> None:
+        if capacity_pages < 1:
+            raise ValueError("capacity_pages must be at least 1")
+        if drain_rate_pages_per_ms <= 0:
+            raise ValueError("drain_rate_pages_per_ms must be positive")
+        self.capacity_pages = capacity_pages
+        self.drain_rate_pages_per_ms = drain_rate_pages_per_ms
+        self.stats = WriteBufferStats()
+        self._occupancy = 0.0
+        self._last_update_us = 0
+
+    @property
+    def occupancy(self) -> float:
+        """Current number of pages waiting in the buffer (fractional)."""
+        return self._occupancy
+
+    def _drain(self, now_us: int) -> None:
+        elapsed_ms = max(0, now_us - self._last_update_us) / 1000.0
+        drained = min(self._occupancy, elapsed_ms * self.drain_rate_pages_per_ms)
+        self._occupancy -= drained
+        self.stats.drained_pages += int(drained)
+        self._last_update_us = now_us
+
+    def admit(self, now_us: int, pages: int = 1) -> bool:
+        """Try to absorb ``pages`` host pages at time ``now_us``.
+
+        Returns ``True`` if the write is absorbed at DRAM latency, or
+        ``False`` if the buffer is saturated and the host must wait for
+        flash programming.
+        """
+        if pages < 1:
+            raise ValueError("pages must be at least 1")
+        self._drain(now_us)
+        if self._occupancy + pages <= self.capacity_pages:
+            self._occupancy += pages
+            self.stats.buffered_writes += 1
+            return True
+        self.stats.exposed_writes += 1
+        return False
+
+    def flush(self, now_us: int) -> int:
+        """Force the buffer empty (host FLUSH).  Returns pages destaged."""
+        self._drain(now_us)
+        destaged = int(self._occupancy)
+        self.stats.drained_pages += destaged
+        self._occupancy = 0.0
+        self._last_update_us = now_us
+        return destaged

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the SSD substrate."""
+
+from __future__ import annotations
+
+
+class SSDError(Exception):
+    """Base class for every error raised by the SSD substrate."""
+
+
+class OutOfRangeError(SSDError):
+    """A logical or physical address is outside the device's range."""
+
+
+class FlashStateError(SSDError):
+    """A flash operation violates the NAND state machine.
+
+    Examples: programming a page that is not erased, reading an erased
+    page, or erasing a block that still holds pages that the retention
+    policy forbids destroying.
+    """
+
+
+class CapacityExhaustedError(SSDError):
+    """The device ran out of physical space.
+
+    A correctly functioning FTL reclaims space via garbage collection
+    before this happens; it can legitimately occur when a retention
+    policy pins so many stale pages that GC cannot free a single block
+    (which is exactly the pressure the paper's GC attack creates).
+    """
+
+
+class FirmwareProtectionError(SSDError):
+    """A host-side actor attempted an operation reserved for firmware.
+
+    Models the hardware isolation boundary of the paper's threat model:
+    the OS (even with root privilege) cannot reconfigure the retention
+    or offload machinery of the device.
+    """

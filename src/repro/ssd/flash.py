@@ -1,0 +1,323 @@
+"""NAND flash array model.
+
+The array enforces the NAND state machine: pages are programmed once
+per erase cycle, in order inside a block, and data disappears only when
+the whole block is erased.  This "erase-before-rewrite" property is the
+physical foundation of every retention-based ransomware defense in the
+paper -- overwritten data is *not* destroyed by the overwrite itself.
+
+Page payloads are represented by :class:`PageContent`.  Small working
+sets (file-system examples, recovery correctness tests) carry real
+bytes; large trace-driven experiments carry only a compact fingerprint
+plus entropy/compressibility classes so terabyte-scale behaviour can be
+simulated in memory.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.ssd.errors import FlashStateError
+from repro.ssd.geometry import SSDGeometry
+
+
+def shannon_entropy(data: bytes) -> float:
+    """Shannon entropy of ``data`` in bits per byte (0.0 for empty input)."""
+    if not data:
+        return 0.0
+    counts: Dict[int, int] = {}
+    for byte in data:
+        counts[byte] = counts.get(byte, 0) + 1
+    total = len(data)
+    entropy = 0.0
+    for count in counts.values():
+        probability = count / total
+        entropy -= probability * math.log2(probability)
+    return entropy
+
+
+@dataclass(frozen=True)
+class PageContent:
+    """Compact description of the data stored in one flash page.
+
+    Attributes
+    ----------
+    fingerprint:
+        64-bit content hash.  Two pages with the same fingerprint are
+        treated as holding identical data; recovery correctness is
+        checked against fingerprints (and against ``payload`` when one
+        is carried).
+    length:
+        Number of valid bytes (<= page size).
+    entropy:
+        Shannon entropy estimate in bits/byte.  Encrypted data sits near
+        8.0; typical user data sits well below.
+    compress_ratio:
+        Expected compressed size / original size in (0, 1].  Encrypted
+        or already-compressed data is ~1.0.
+    payload:
+        Optional real bytes, carried only for small working sets.
+    """
+
+    fingerprint: int
+    length: int
+    entropy: float = 4.0
+    compress_ratio: float = 0.5
+    payload: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ValueError("length must be non-negative")
+        if not 0.0 <= self.entropy <= 8.0:
+            raise ValueError("entropy must be within [0, 8] bits per byte")
+        if not 0.0 < self.compress_ratio <= 1.0:
+            raise ValueError("compress_ratio must be within (0, 1]")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PageContent":
+        """Build content carrying real bytes, deriving entropy and ratio."""
+        digest = hashlib.blake2b(data, digest_size=8).digest()
+        entropy = shannon_entropy(data)
+        # Entropy is a serviceable proxy for compressibility: nearly
+        # incompressible data has entropy close to 8 bits/byte.
+        ratio = max(0.05, min(1.0, entropy / 8.0))
+        return cls(
+            fingerprint=int.from_bytes(digest, "big"),
+            length=len(data),
+            entropy=entropy,
+            compress_ratio=ratio,
+            payload=data,
+        )
+
+    @classmethod
+    def synthetic(
+        cls,
+        fingerprint: int,
+        length: int,
+        entropy: float = 4.0,
+        compress_ratio: float = 0.5,
+    ) -> "PageContent":
+        """Build descriptor-only content for trace-driven simulation."""
+        return cls(
+            fingerprint=fingerprint,
+            length=length,
+            entropy=entropy,
+            compress_ratio=compress_ratio,
+            payload=None,
+        )
+
+    @property
+    def looks_encrypted(self) -> bool:
+        """Heuristic used by entropy-based detectors."""
+        return self.entropy >= 7.2
+
+    def compressed_size(self) -> int:
+        """Estimated size after compression, in bytes."""
+        return max(1, int(self.length * self.compress_ratio))
+
+
+class PageState(enum.Enum):
+    """State of a physical flash page."""
+
+    FREE = "free"
+    VALID = "valid"
+    INVALID = "invalid"
+
+
+@dataclass
+class FlashPage:
+    """One physical flash page."""
+
+    ppn: int
+    state: PageState = PageState.FREE
+    content: Optional[PageContent] = None
+    lpn: Optional[int] = None
+    program_timestamp_us: int = 0
+
+    def reset(self) -> None:
+        """Return the page to the erased state."""
+        self.state = PageState.FREE
+        self.content = None
+        self.lpn = None
+        self.program_timestamp_us = 0
+
+
+@dataclass
+class FlashBlock:
+    """One erase block: a run of sequentially programmable pages.
+
+    ``valid_count`` / ``invalid_count`` are maintained incrementally by
+    :class:`FlashArray` so GC victim selection does not have to walk
+    every page of every block; :meth:`count_state` remains as the slow,
+    authoritative cross-check used by the tests.
+    """
+
+    block_index: int
+    pages: List[FlashPage] = field(default_factory=list)
+    erase_count: int = 0
+    next_program_offset: int = 0
+    valid_count: int = 0
+    invalid_count: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.pages)
+
+    @property
+    def is_full(self) -> bool:
+        """True once every page in the block has been programmed."""
+        return self.next_program_offset >= len(self.pages)
+
+    @property
+    def is_erased(self) -> bool:
+        """True if no page in the block has been programmed since erase."""
+        return self.next_program_offset == 0
+
+    def count_state(self, state: PageState) -> int:
+        """Number of pages currently in ``state`` (authoritative page walk)."""
+        return sum(1 for page in self.pages if page.state is state)
+
+    @property
+    def valid_pages(self) -> int:
+        return self.valid_count
+
+    @property
+    def invalid_pages(self) -> int:
+        return self.invalid_count
+
+    @property
+    def free_pages(self) -> int:
+        return len(self.pages) - self.next_program_offset
+
+    def iter_pages(self, state: Optional[PageState] = None) -> Iterator[FlashPage]:
+        """Iterate pages, optionally filtered by state."""
+        for page in self.pages:
+            if state is None or page.state is state:
+                yield page
+
+
+class FlashArray:
+    """The full NAND array: every block and page of the device.
+
+    The array is deliberately policy-free -- it enforces only the NAND
+    constraints (program erased pages in order, erase whole blocks) and
+    leaves placement, mapping, and retention to the FTL above it.
+    """
+
+    def __init__(self, geometry: SSDGeometry) -> None:
+        self.geometry = geometry
+        self._blocks: List[FlashBlock] = []
+        for block_index in range(geometry.total_blocks):
+            first_ppn = geometry.block_to_first_ppn(block_index)
+            pages = [
+                FlashPage(ppn=first_ppn + offset)
+                for offset in range(geometry.pages_per_block)
+            ]
+            self._blocks.append(FlashBlock(block_index=block_index, pages=pages))
+
+    # -- addressing -------------------------------------------------------
+
+    def block(self, block_index: int) -> FlashBlock:
+        """Return the erase block with the given index."""
+        self.geometry.check_block(block_index)
+        return self._blocks[block_index]
+
+    def page(self, ppn: int) -> FlashPage:
+        """Return the physical page with the given physical page number."""
+        self.geometry.check_ppn(ppn)
+        block = self._blocks[self.geometry.ppn_to_block(ppn)]
+        return block.pages[self.geometry.ppn_to_page_offset(ppn)]
+
+    def iter_blocks(self) -> Iterator[FlashBlock]:
+        return iter(self._blocks)
+
+    # -- NAND operations ---------------------------------------------------
+
+    def program(
+        self,
+        block_index: int,
+        content: PageContent,
+        lpn: Optional[int],
+        timestamp_us: int,
+    ) -> int:
+        """Program the next free page of ``block_index``.
+
+        Returns the physical page number that was programmed.  Raises
+        :class:`FlashStateError` if the block is full.
+        """
+        block = self.block(block_index)
+        if block.is_full:
+            raise FlashStateError(f"block {block_index} has no free pages")
+        page = block.pages[block.next_program_offset]
+        if page.state is not PageState.FREE:
+            raise FlashStateError(
+                f"page {page.ppn} is {page.state.value}, expected free"
+            )
+        page.state = PageState.VALID
+        page.content = content
+        page.lpn = lpn
+        page.program_timestamp_us = timestamp_us
+        block.next_program_offset += 1
+        block.valid_count += 1
+        return page.ppn
+
+    def read(self, ppn: int) -> PageContent:
+        """Read the content of a programmed page."""
+        page = self.page(ppn)
+        if page.state is PageState.FREE or page.content is None:
+            raise FlashStateError(f"page {ppn} has never been programmed")
+        return page.content
+
+    def invalidate(self, ppn: int) -> FlashPage:
+        """Mark a valid page invalid (its data remains readable until erase)."""
+        page = self.page(ppn)
+        if page.state is not PageState.VALID:
+            raise FlashStateError(
+                f"page {ppn} is {page.state.value}, expected valid"
+            )
+        page.state = PageState.INVALID
+        block = self._blocks[self.geometry.ppn_to_block(ppn)]
+        block.valid_count -= 1
+        block.invalid_count += 1
+        return page
+
+    def erase(self, block_index: int) -> FlashBlock:
+        """Erase a whole block, destroying the data of every page in it."""
+        block = self.block(block_index)
+        if block.valid_pages:
+            raise FlashStateError(
+                f"block {block_index} still holds {block.valid_pages} valid pages"
+            )
+        for page in block.pages:
+            page.reset()
+        block.next_program_offset = 0
+        block.erase_count += 1
+        block.valid_count = 0
+        block.invalid_count = 0
+        return block
+
+    # -- statistics ---------------------------------------------------------
+
+    def total_erases(self) -> int:
+        """Sum of erase counts across every block."""
+        return sum(block.erase_count for block in self._blocks)
+
+    def max_erase_count(self) -> int:
+        """Highest per-block erase count (wear hot spot)."""
+        return max(block.erase_count for block in self._blocks)
+
+    def min_erase_count(self) -> int:
+        """Lowest per-block erase count."""
+        return min(block.erase_count for block in self._blocks)
+
+    def state_counts(self) -> Dict[PageState, int]:
+        """Count pages in each state across the whole array."""
+        counts = {state: 0 for state in PageState}
+        for block in self._blocks:
+            for state in PageState:
+                counts[state] += block.count_state(state)
+        return counts

@@ -1,0 +1,432 @@
+"""Flash translation layer (FTL).
+
+The FTL keeps the logical-to-physical page mapping, allocates flash
+pages for host writes, invalidates superseded pages, and cooperates
+with garbage collection.  Retention behaviour -- the property every
+ransomware defense in the paper builds on -- is delegated to a
+:class:`RetentionPolicy`:
+
+* A plain SSD uses :class:`PassthroughRetention`: stale pages may be
+  destroyed as soon as GC wants the space.
+* FlashGuard/TimeSSD-like defenses retain *suspicious* or *recent*
+  stale pages locally, bounded by spare capacity, and are forced to
+  release them under capacity pressure (which the GC attack exploits).
+* RSSD retains *every* stale page and only allows release after the
+  page has been offloaded to the remote tier over NVMe-oE.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Protocol
+
+from repro.sim import SimClock
+from repro.ssd.errors import CapacityExhaustedError, OutOfRangeError
+from repro.ssd.flash import FlashArray, FlashBlock, PageContent, PageState
+from repro.ssd.geometry import SSDGeometry
+
+
+class InvalidationCause(enum.Enum):
+    """Why a flash page became stale."""
+
+    OVERWRITE = "overwrite"
+    TRIM = "trim"
+    RELOCATION = "relocation"
+
+
+@dataclass
+class StalePage:
+    """A flash page whose logical address has been superseded or trimmed.
+
+    The record survives relocation by GC (``ppn`` is updated) and is the
+    unit of retention, offloading, release and recovery throughout the
+    library.
+    """
+
+    lpn: int
+    ppn: int
+    content: PageContent
+    written_us: int
+    invalidated_us: int
+    cause: InvalidationCause
+    version: int
+    offloaded: bool = False
+    released: bool = False
+    relocations: int = 0
+
+
+@dataclass
+class PageMetadata:
+    """Metadata the FTL keeps per live logical page."""
+
+    lpn: int
+    ppn: int
+    written_us: int
+    version: int
+
+
+class RetentionPolicy(Protocol):
+    """Decides the fate of stale flash pages.
+
+    The FTL and GC call these hooks; the policy never mutates flash
+    state itself.  Implementations live with the defense they belong to
+    (``repro.defenses`` for the baselines, ``repro.core.retention`` for
+    RSSD).
+    """
+
+    def on_invalidate(self, record: StalePage) -> None:
+        """A page just became stale (overwrite or trim)."""
+
+    def may_release(self, record: StalePage) -> bool:
+        """May GC physically destroy this stale page's data right now?"""
+
+    def on_release(self, record: StalePage) -> None:
+        """The stale page's data has been physically destroyed."""
+
+    def on_relocate(self, record: StalePage, new_ppn: int) -> None:
+        """GC relocated the stale page; ``record.ppn`` already updated."""
+
+    def reclaim_pressure(self, ftl: "FTL", needed_pages: int) -> int:
+        """GC cannot free space without violating retention.
+
+        The policy must either make some stale pages releasable (RSSD
+        drains its offload queue; FlashGuard force-releases its oldest
+        retained pages, losing them) or accept that the device stalls.
+        Returns the number of stale pages made releasable.
+        """
+
+
+class PassthroughRetention:
+    """Retention policy of an unmodified SSD: stale data is expendable."""
+
+    def on_invalidate(self, record: StalePage) -> None:
+        return None
+
+    def may_release(self, record: StalePage) -> bool:
+        return True
+
+    def on_release(self, record: StalePage) -> None:
+        return None
+
+    def on_relocate(self, record: StalePage, new_ppn: int) -> None:
+        return None
+
+    def reclaim_pressure(self, ftl: "FTL", needed_pages: int) -> int:
+        return 0
+
+
+class BlockAllocator:
+    """Free-block pool with dynamic wear leveling.
+
+    Free blocks are handed out lowest-erase-count first so wear spreads
+    across the array; this is the "dynamic wear leveling" the device
+    statistics report on.  The last ``gc_reserve_blocks`` blocks are
+    reserved for garbage collection so relocation always has somewhere
+    to copy pages even when host writes have exhausted the pool.
+    """
+
+    def __init__(self, flash: FlashArray, gc_reserve_blocks: int = 2) -> None:
+        if gc_reserve_blocks < 0:
+            raise ValueError("gc_reserve_blocks must be non-negative")
+        self._flash = flash
+        self._free: List[int] = [block.block_index for block in flash.iter_blocks()]
+        self.gc_reserve_blocks = gc_reserve_blocks
+
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free)
+
+    def allocate(self, for_gc: bool = False) -> int:
+        """Pop the free block with the lowest erase count.
+
+        Host allocations (``for_gc=False``) may not dig into the GC
+        reserve; GC relocation allocations may.
+        """
+        available = len(self._free) if for_gc else len(self._free) - self.gc_reserve_blocks
+        if available <= 0:
+            raise CapacityExhaustedError(
+                "no free blocks available"
+                + ("" if for_gc else " outside the GC reserve")
+            )
+        best_position = min(
+            range(len(self._free)),
+            key=lambda position: (
+                self._flash.block(self._free[position]).erase_count,
+                self._free[position],
+            ),
+        )
+        return self._free.pop(best_position)
+
+    def release(self, block_index: int) -> None:
+        """Return an erased block to the free pool."""
+        if block_index in self._free:
+            raise ValueError(f"block {block_index} is already free")
+        self._free.append(block_index)
+
+    def peek_free(self) -> List[int]:
+        """Snapshot of the free pool (for tests and wear statistics)."""
+        return list(self._free)
+
+
+@dataclass
+class FTLStats:
+    """Counters specific to FTL/GC internals."""
+
+    stale_pages_created: int = 0
+    stale_pages_released: int = 0
+    stale_pages_relocated: int = 0
+    reclaim_pressure_events: int = 0
+
+
+class FTL:
+    """Page-mapping flash translation layer.
+
+    Host writes go to the currently open "host" block; GC relocations go
+    to a separate open "gc" block so hot and cold data do not mix.  The
+    mapping table is a plain dictionary from logical page number (LPN)
+    to physical page number (PPN).
+    """
+
+    def __init__(
+        self,
+        geometry: SSDGeometry,
+        flash: FlashArray,
+        clock: SimClock,
+        retention_policy: Optional[RetentionPolicy] = None,
+        gc_threshold_blocks: int = 4,
+    ) -> None:
+        if gc_threshold_blocks < 2:
+            raise ValueError("gc_threshold_blocks must be at least 2")
+        self.geometry = geometry
+        self.flash = flash
+        self.clock = clock
+        self.retention_policy: RetentionPolicy = (
+            retention_policy if retention_policy is not None else PassthroughRetention()
+        )
+        self.gc_threshold_blocks = gc_threshold_blocks
+        self.allocator = BlockAllocator(flash)
+        self.stats = FTLStats()
+        self._mapping: Dict[int, PageMetadata] = {}
+        self._stale: Dict[int, StalePage] = {}  # keyed by current ppn
+        self._version_counter: Dict[int, int] = {}
+        self._host_block: Optional[int] = None
+        self._gc_block: Optional[int] = None
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def mapped_pages(self) -> int:
+        """Number of live logical pages."""
+        return len(self._mapping)
+
+    @property
+    def stale_pages(self) -> int:
+        """Number of stale pages currently held on flash."""
+        return len(self._stale)
+
+    @property
+    def free_pages(self) -> int:
+        """Free (never-programmed-since-erase) pages across the device."""
+        free_in_pool = self.allocator.free_blocks * self.geometry.pages_per_block
+        open_free = 0
+        for block_index in (self._host_block, self._gc_block):
+            if block_index is not None:
+                open_free += self.flash.block(block_index).free_pages
+        return free_in_pool + open_free
+
+    def lookup(self, lpn: int) -> Optional[PageMetadata]:
+        """Return the live mapping for ``lpn`` or ``None`` if unmapped."""
+        self._check_lpn(lpn)
+        return self._mapping.get(lpn)
+
+    def iter_stale(self) -> Iterable[StalePage]:
+        """Iterate stale pages currently retained on flash."""
+        return list(self._stale.values())
+
+    def stale_for_lpn(self, lpn: int) -> List[StalePage]:
+        """All retained stale versions of ``lpn``, oldest first."""
+        records = [record for record in self._stale.values() if record.lpn == lpn]
+        records.sort(key=lambda record: record.version)
+        return records
+
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.geometry.exported_pages:
+            raise OutOfRangeError(
+                f"logical page {lpn} outside [0, {self.geometry.exported_pages})"
+            )
+
+    # -- host operations ----------------------------------------------------
+
+    def read(self, lpn: int) -> Optional[PageContent]:
+        """Read the live content of ``lpn`` (``None`` for unmapped pages)."""
+        meta = self.lookup(lpn)
+        if meta is None:
+            return None
+        return self.flash.read(meta.ppn)
+
+    def write(self, lpn: int, content: PageContent) -> PageMetadata:
+        """Write ``content`` to ``lpn``, invalidating any previous version.
+
+        Returns the new mapping entry.  Flash page programs performed
+        here are reported to the caller via the returned metadata and
+        the FTL counters; host-level latency accounting happens in the
+        device layer.
+        """
+        self._check_lpn(lpn)
+        previous = self._mapping.get(lpn)
+        ppn = self._program_host_page(content, lpn)
+        version = self._next_version(lpn)
+        meta = PageMetadata(
+            lpn=lpn, ppn=ppn, written_us=self.clock.now_us, version=version
+        )
+        self._mapping[lpn] = meta
+        if previous is not None:
+            self._invalidate_physical(previous, InvalidationCause.OVERWRITE)
+        return meta
+
+    def trim(self, lpn: int) -> Optional[StalePage]:
+        """Drop the mapping for ``lpn``.
+
+        The previously mapped flash page becomes stale with cause
+        ``TRIM``; whether its data survives is up to the retention
+        policy.  Returns the stale record, or ``None`` if the page was
+        not mapped.
+        """
+        self._check_lpn(lpn)
+        previous = self._mapping.pop(lpn, None)
+        if previous is None:
+            return None
+        return self._invalidate_physical(previous, InvalidationCause.TRIM)
+
+    # -- internals -----------------------------------------------------------
+
+    def _next_version(self, lpn: int) -> int:
+        version = self._version_counter.get(lpn, 0) + 1
+        self._version_counter[lpn] = version
+        return version
+
+    def _invalidate_physical(
+        self, meta: PageMetadata, cause: InvalidationCause
+    ) -> StalePage:
+        page = self.flash.invalidate(meta.ppn)
+        record = StalePage(
+            lpn=meta.lpn,
+            ppn=meta.ppn,
+            content=page.content if page.content is not None else PageContent.synthetic(0, 0),
+            written_us=meta.written_us,
+            invalidated_us=self.clock.now_us,
+            cause=cause,
+            version=meta.version,
+        )
+        self._stale[meta.ppn] = record
+        self.stats.stale_pages_created += 1
+        self.retention_policy.on_invalidate(record)
+        return record
+
+    def _open_block(self, purpose: str) -> int:
+        """Allocate and open a new block for host writes or GC relocation."""
+        block_index = self.allocator.allocate(for_gc=(purpose == "gc"))
+        if purpose == "host":
+            self._host_block = block_index
+        else:
+            self._gc_block = block_index
+        return block_index
+
+    def _program_host_page(self, content: PageContent, lpn: Optional[int]) -> int:
+        return self._program(content, lpn, purpose="host")
+
+    def program_relocation_page(self, content: PageContent, lpn: Optional[int]) -> int:
+        """Program a page on the GC/relocation stream (used by the GC)."""
+        return self._program(content, lpn, purpose="gc")
+
+    def _program(self, content: PageContent, lpn: Optional[int], purpose: str) -> int:
+        block_index = self._host_block if purpose == "host" else self._gc_block
+        if block_index is None or self.flash.block(block_index).is_full:
+            block_index = self._open_block(purpose)
+        ppn = self.flash.program(
+            block_index, content, lpn, timestamp_us=self.clock.now_us
+        )
+        return ppn
+
+    # -- GC support ------------------------------------------------------------
+
+    def needs_gc(self) -> bool:
+        """True when the free-block pool has drained to the GC threshold."""
+        return self.allocator.free_blocks <= self.gc_threshold_blocks
+
+    def closed_blocks(self) -> List[FlashBlock]:
+        """Blocks eligible as GC victims (full, not currently open)."""
+        open_blocks = {self._host_block, self._gc_block}
+        free_blocks = set(self.allocator.peek_free())
+        victims = []
+        for block in self.flash.iter_blocks():
+            if block.block_index in open_blocks:
+                continue
+            if block.is_erased:
+                continue
+            if block.block_index in free_blocks:
+                continue
+            victims.append(block)
+        return victims
+
+    def stale_record_at(self, ppn: int) -> Optional[StalePage]:
+        """The stale record currently stored at physical page ``ppn``."""
+        return self._stale.get(ppn)
+
+    def relocate_valid_page(self, ppn: int) -> int:
+        """Move a live page out of a GC victim block.  Returns the new ppn."""
+        page = self.flash.page(ppn)
+        if page.state is not PageState.VALID or page.lpn is None:
+            raise ValueError(f"page {ppn} is not a live valid page")
+        content = self.flash.read(ppn)
+        new_ppn = self.program_relocation_page(content, page.lpn)
+        meta = self._mapping.get(page.lpn)
+        if meta is not None and meta.ppn == ppn:
+            meta.ppn = new_ppn
+        self.flash.invalidate(ppn)
+        return new_ppn
+
+    def relocate_stale_page(self, record: StalePage) -> int:
+        """Preserve a stale page by copying it out of a GC victim block.
+
+        The copy is immediately marked invalid: it is retained history,
+        not live data, and must never be mistaken for a mapped page by a
+        later GC pass.
+        """
+        new_ppn = self.program_relocation_page(record.content, record.lpn)
+        self.flash.invalidate(new_ppn)
+        del self._stale[record.ppn]
+        record.ppn = new_ppn
+        record.relocations += 1
+        self._stale[new_ppn] = record
+        self.stats.stale_pages_relocated += 1
+        self.retention_policy.on_relocate(record, new_ppn)
+        return new_ppn
+
+    def release_stale_page(self, record: StalePage) -> None:
+        """Allow a stale page's data to be destroyed by the upcoming erase."""
+        record.released = True
+        self._stale.pop(record.ppn, None)
+        self.stats.stale_pages_released += 1
+        self.retention_policy.on_release(record)
+
+    def drop_stale_record(self, record: StalePage) -> None:
+        """Remove a stale record without destroying data.
+
+        Used when the record's content has been safely copied elsewhere
+        (for example after remote offload confirms durability) and local
+        tracking is no longer required.  The physical page remains
+        invalid and will be reclaimed by GC as releasable space.
+        """
+        self._stale.pop(record.ppn, None)
+
+    def finish_block_erase(self, block: FlashBlock) -> None:
+        """Erase ``block`` and return it to the free pool."""
+        self.flash.erase(block.block_index)
+        self.allocator.release(block.block_index)
+
+    def signal_reclaim_pressure(self, needed_pages: int) -> int:
+        """Forward capacity pressure to the retention policy."""
+        self.stats.reclaim_pressure_events += 1
+        return self.retention_policy.reclaim_pressure(self, needed_pages)

@@ -1,0 +1,212 @@
+"""Garbage collection policies.
+
+GC reclaims erase blocks when the free-block pool runs low.  Valid
+pages in a victim block are always relocated; stale (invalid) pages are
+released or preserved according to the FTL's retention policy.  The
+*net* space gained from a victim is therefore the number of stale pages
+the policy lets go -- which is exactly the resource the paper's GC
+attack starves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.ssd.errors import CapacityExhaustedError
+from repro.ssd.flash import FlashBlock, PageState
+from repro.ssd.ftl import FTL, StalePage
+
+
+@dataclass
+class GCResult:
+    """Outcome of one garbage-collection pass."""
+
+    blocks_erased: int = 0
+    valid_pages_relocated: int = 0
+    stale_pages_preserved: int = 0
+    stale_pages_released: int = 0
+    reclaim_pressure_events: int = 0
+    stalled: bool = False
+
+    @property
+    def pages_relocated(self) -> int:
+        """Total flash programs caused by this pass."""
+        return self.valid_pages_relocated + self.stale_pages_preserved
+
+    def merge(self, other: "GCResult") -> None:
+        """Accumulate another pass's counters into this one."""
+        self.blocks_erased += other.blocks_erased
+        self.valid_pages_relocated += other.valid_pages_relocated
+        self.stale_pages_preserved += other.stale_pages_preserved
+        self.stale_pages_released += other.stale_pages_released
+        self.reclaim_pressure_events += other.reclaim_pressure_events
+        self.stalled = self.stalled or other.stalled
+
+
+class GarbageCollector:
+    """Base garbage collector; subclasses choose victims differently."""
+
+    def __init__(self, max_blocks_per_pass: int = 8, victim_scan_width: int = 8) -> None:
+        if max_blocks_per_pass < 1:
+            raise ValueError("max_blocks_per_pass must be at least 1")
+        if victim_scan_width < 1:
+            raise ValueError("victim_scan_width must be at least 1")
+        self.max_blocks_per_pass = max_blocks_per_pass
+        #: How many of the most-invalidated blocks get a full page-level
+        #: scoring scan per victim selection (keeps GC cost bounded on
+        #: large arrays).
+        self.victim_scan_width = victim_scan_width
+
+    # -- victim scoring (override in subclasses) ---------------------------
+
+    def score_victim(self, ftl: FTL, block: FlashBlock) -> float:
+        """Higher score means a better victim.  Subclasses override."""
+        return self.score_from_accounting(ftl, block, self._block_accounting(ftl, block))
+
+    def score_from_accounting(
+        self, ftl: FTL, block: FlashBlock, accounting: Tuple[int, int, int]
+    ) -> float:
+        """Score a victim from pre-computed page accounting.  Subclasses override."""
+        raise NotImplementedError
+
+    def _block_accounting(self, ftl: FTL, block: FlashBlock) -> Tuple[int, int, int]:
+        """Return (releasable, must_preserve, valid) page counts for a block."""
+        releasable = 0
+        must_preserve = 0
+        valid = 0
+        for page in block.pages:
+            if page.state is PageState.VALID:
+                valid += 1
+            elif page.state is PageState.INVALID:
+                record = ftl.stale_record_at(page.ppn)
+                if record is None or ftl.retention_policy.may_release(record):
+                    releasable += 1
+                else:
+                    must_preserve += 1
+        return releasable, must_preserve, valid
+
+    def select_victim(self, ftl: FTL) -> Optional[FlashBlock]:
+        """Pick the victim block with the highest positive score.
+
+        Candidates are pre-ranked by their (cheaply maintained) invalid
+        page count; only the top ``victim_scan_width`` get the full
+        page-level accounting, then blocks with no releasable page are
+        skipped.  If the pre-ranked slice yields nothing releasable the
+        scan falls back to the full candidate list so retention-heavy
+        devices still find the odd releasable page.
+        """
+        candidates = [
+            block for block in ftl.closed_blocks() if block.invalid_pages > 0
+        ]
+        candidates.sort(key=lambda block: block.invalid_pages, reverse=True)
+        for scan in (candidates[: self.victim_scan_width], candidates[self.victim_scan_width :]):
+            best: Optional[FlashBlock] = None
+            best_score = 0.0
+            for block in scan:
+                accounting = self._block_accounting(ftl, block)
+                if accounting[0] == 0:
+                    continue
+                score = self.score_from_accounting(ftl, block, accounting)
+                if best is None or score > best_score:
+                    best = block
+                    best_score = score
+            if best is not None:
+                return best
+        return None
+
+    # -- reclaim -------------------------------------------------------------
+
+    def collect(self, ftl: FTL, force: bool = False) -> GCResult:
+        """Run GC passes until the device no longer needs space.
+
+        With ``force=True`` a single pass is run even if the free pool is
+        above the threshold (used by trim-triggered eager collection).
+        Raises :class:`CapacityExhaustedError` only if the retention
+        policy cannot relieve pressure and no space can be reclaimed at
+        all; otherwise the result's ``stalled`` flag reports temporary
+        back-pressure.
+        """
+        result = GCResult()
+        passes = 0
+        while (ftl.needs_gc() or (force and passes == 0)) and (
+            passes < self.max_blocks_per_pass
+        ):
+            victim = self.select_victim(ftl)
+            if victim is None:
+                needed = ftl.geometry.pages_per_block
+                released = ftl.signal_reclaim_pressure(needed)
+                result.reclaim_pressure_events += 1
+                if released == 0:
+                    if ftl.free_pages == 0 and not force:
+                        raise CapacityExhaustedError(
+                            "GC cannot reclaim space: every stale page is "
+                            "pinned by the retention policy and the policy "
+                            "could not relieve pressure"
+                        )
+                    result.stalled = True
+                    break
+                continue
+            result.merge(self._reclaim_block(ftl, victim))
+            passes += 1
+        return result
+
+    def _reclaim_block(self, ftl: FTL, victim: FlashBlock) -> GCResult:
+        """Relocate / release every page of ``victim`` and erase it."""
+        result = GCResult()
+        for page in list(victim.iter_pages()):
+            if page.state is PageState.VALID:
+                ftl.relocate_valid_page(page.ppn)
+                result.valid_pages_relocated += 1
+            elif page.state is PageState.INVALID:
+                record = ftl.stale_record_at(page.ppn)
+                if record is None:
+                    continue
+                if ftl.retention_policy.may_release(record):
+                    ftl.release_stale_page(record)
+                    result.stale_pages_released += 1
+                else:
+                    ftl.relocate_stale_page(record)
+                    result.stale_pages_preserved += 1
+        ftl.finish_block_erase(victim)
+        result.blocks_erased += 1
+        return result
+
+
+class GreedyGC(GarbageCollector):
+    """Classic greedy GC: pick the block with the most reclaimable pages."""
+
+    def score_from_accounting(self, ftl, block, accounting) -> float:
+        releasable, must_preserve, valid = accounting
+        # Relocations (valid + preserved stale) cost space and time, so
+        # net them out of the score.
+        return float(releasable) - 0.5 * float(valid + must_preserve)
+
+
+class CostBenefitGC(GarbageCollector):
+    """Cost-benefit GC: weigh reclaimable space against copy cost and age.
+
+    Uses the standard (benefit / cost) * age formulation where benefit is
+    the fraction of the block that can be freed and cost is the fraction
+    that must be copied out.
+    """
+
+    def __init__(self, max_blocks_per_pass: int = 8, age_weight: float = 1.0) -> None:
+        super().__init__(max_blocks_per_pass=max_blocks_per_pass)
+        if age_weight < 0:
+            raise ValueError("age_weight must be non-negative")
+        self.age_weight = age_weight
+
+    def score_from_accounting(self, ftl, block, accounting) -> float:
+        releasable, must_preserve, valid = accounting
+        size = float(block.size)
+        benefit = releasable / size
+        cost = (valid + must_preserve) / size
+        newest_program = max(
+            (page.program_timestamp_us for page in block.iter_pages()), default=0
+        )
+        age_us = max(0, ftl.clock.now_us - newest_program)
+        age_factor = 1.0 + self.age_weight * (age_us / 1_000_000.0)
+        if cost >= 1.0:
+            return 0.0
+        return (benefit / (1.0 + cost)) * age_factor

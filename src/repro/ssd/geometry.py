@@ -1,0 +1,162 @@
+"""SSD geometry description.
+
+The geometry fixes how many flash pages the device exposes to the host
+and how many it keeps as over-provisioning.  All sizes are in bytes and
+page counts; the FTL and GC never deal with raw byte offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SSDGeometry:
+    """Physical organisation of the flash array.
+
+    Attributes
+    ----------
+    channels:
+        Number of independent flash channels.
+    chips_per_channel:
+        NAND dies attached to each channel.
+    blocks_per_chip:
+        Erase blocks per die.
+    pages_per_block:
+        Program units per erase block.
+    page_size:
+        Bytes per flash page (the device's logical block size as well).
+    overprovision_ratio:
+        Fraction of raw capacity hidden from the host and reserved for
+        garbage collection headroom (0.07-0.28 on commodity drives).
+    """
+
+    channels: int = 8
+    chips_per_channel: int = 4
+    blocks_per_chip: int = 128
+    pages_per_block: int = 64
+    page_size: int = 4096
+    overprovision_ratio: float = 0.125
+
+    def __post_init__(self) -> None:
+        if min(
+            self.channels,
+            self.chips_per_channel,
+            self.blocks_per_chip,
+            self.pages_per_block,
+            self.page_size,
+        ) <= 0:
+            raise ValueError("all geometry dimensions must be positive")
+        if not 0.0 <= self.overprovision_ratio < 1.0:
+            raise ValueError("overprovision_ratio must be in [0, 1)")
+
+    @property
+    def total_chips(self) -> int:
+        """Total number of NAND dies in the array."""
+        return self.channels * self.chips_per_channel
+
+    @property
+    def total_blocks(self) -> int:
+        """Total erase blocks in the array."""
+        return self.total_chips * self.blocks_per_chip
+
+    @property
+    def total_pages(self) -> int:
+        """Total physical flash pages in the array."""
+        return self.total_blocks * self.pages_per_block
+
+    @property
+    def raw_capacity_bytes(self) -> int:
+        """Raw capacity of the flash array in bytes."""
+        return self.total_pages * self.page_size
+
+    @property
+    def exported_pages(self) -> int:
+        """Logical pages exposed to the host (raw minus over-provisioning)."""
+        return int(self.total_pages * (1.0 - self.overprovision_ratio))
+
+    @property
+    def exported_capacity_bytes(self) -> int:
+        """Host-visible capacity in bytes."""
+        return self.exported_pages * self.page_size
+
+    @property
+    def block_size_bytes(self) -> int:
+        """Bytes per erase block."""
+        return self.pages_per_block * self.page_size
+
+    def ppn_to_block(self, ppn: int) -> int:
+        """Map a physical page number to its erase-block index."""
+        self.check_ppn(ppn)
+        return ppn // self.pages_per_block
+
+    def ppn_to_page_offset(self, ppn: int) -> int:
+        """Map a physical page number to its offset inside its block."""
+        self.check_ppn(ppn)
+        return ppn % self.pages_per_block
+
+    def block_to_first_ppn(self, block_index: int) -> int:
+        """Physical page number of the first page in ``block_index``."""
+        self.check_block(block_index)
+        return block_index * self.pages_per_block
+
+    def block_to_channel(self, block_index: int) -> int:
+        """Channel that owns ``block_index`` (blocks are striped by chip)."""
+        self.check_block(block_index)
+        chip = block_index // self.blocks_per_chip
+        return chip % self.channels
+
+    def check_ppn(self, ppn: int) -> None:
+        """Raise :class:`ValueError` if ``ppn`` is outside the array."""
+        if not 0 <= ppn < self.total_pages:
+            raise ValueError(f"physical page {ppn} outside [0, {self.total_pages})")
+
+    def check_block(self, block_index: int) -> None:
+        """Raise :class:`ValueError` if ``block_index`` is outside the array."""
+        if not 0 <= block_index < self.total_blocks:
+            raise ValueError(
+                f"block {block_index} outside [0, {self.total_blocks})"
+            )
+
+    @classmethod
+    def tiny(cls) -> "SSDGeometry":
+        """A minimal geometry for unit tests (a few MB)."""
+        return cls(
+            channels=2,
+            chips_per_channel=1,
+            blocks_per_chip=16,
+            pages_per_block=16,
+            page_size=4096,
+            overprovision_ratio=0.125,
+        )
+
+    @classmethod
+    def small(cls) -> "SSDGeometry":
+        """A small geometry for integration tests and examples (~128 MB)."""
+        return cls(
+            channels=4,
+            chips_per_channel=2,
+            blocks_per_chip=64,
+            pages_per_block=64,
+            page_size=4096,
+            overprovision_ratio=0.125,
+        )
+
+    @classmethod
+    def cosmos_openssd(cls) -> "SSDGeometry":
+        """Geometry approximating the Cosmos+ OpenSSD board used by the paper.
+
+        The real board exposes 1 TB over 8 channels / 8 ways; simulating a
+        full terabyte page-by-page is unnecessary for the experiments, so
+        the analytic retention model (:mod:`repro.analysis.retention`)
+        scales results from smaller simulated arrays.  This constructor is
+        provided for completeness and for capacity arithmetic.
+        """
+        return cls(
+            channels=8,
+            chips_per_channel=8,
+            blocks_per_chip=4096,
+            pages_per_block=256,
+            page_size=16384,
+            overprovision_ratio=0.07,
+        )

@@ -1,0 +1,108 @@
+"""Device-level statistics: traffic, latency, write amplification, lifetime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.sim import percentile
+
+
+@dataclass
+class LatencyRecorder:
+    """Collects per-operation latency samples for one command type."""
+
+    samples_us: List[float] = field(default_factory=list)
+
+    def record(self, latency_us: float) -> None:
+        self.samples_us.append(latency_us)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples_us)
+
+    @property
+    def total_us(self) -> float:
+        return sum(self.samples_us)
+
+    @property
+    def mean_us(self) -> float:
+        return self.total_us / self.count if self.count else 0.0
+
+    def percentile_us(self, fraction: float) -> float:
+        """Latency at the given percentile (e.g. 0.99 for p99)."""
+        return percentile(sorted(self.samples_us), fraction)
+
+
+@dataclass
+class DeviceMetrics:
+    """Counters kept by the SSD and read by the benchmark harness.
+
+    Write amplification factor (WAF) is ``flash_pages_programmed /
+    host_pages_written``; lifetime impact is estimated from total block
+    erases against a per-block endurance budget.
+    """
+
+    host_reads: int = 0
+    host_writes: int = 0
+    host_trims: int = 0
+    host_flushes: int = 0
+    host_pages_read: int = 0
+    host_pages_written: int = 0
+    host_pages_trimmed: int = 0
+    flash_pages_read: int = 0
+    flash_pages_programmed: int = 0
+    flash_blocks_erased: int = 0
+    gc_invocations: int = 0
+    gc_pages_relocated: int = 0
+    gc_stale_pages_preserved: int = 0
+    gc_stale_pages_released: int = 0
+    retained_pages_current: int = 0
+    latency: Dict[str, LatencyRecorder] = field(
+        default_factory=lambda: {
+            "read": LatencyRecorder(),
+            "write": LatencyRecorder(),
+            "trim": LatencyRecorder(),
+            "flush": LatencyRecorder(),
+        }
+    )
+
+    def record_latency(self, op: str, latency_us: float) -> None:
+        """Record a host-visible latency sample for ``op``."""
+        self.latency.setdefault(op, LatencyRecorder()).record(latency_us)
+
+    @property
+    def write_amplification(self) -> float:
+        """Flash page programs per host page written (>= 1.0 in steady state)."""
+        if self.host_pages_written == 0:
+            return 0.0
+        return self.flash_pages_programmed / self.host_pages_written
+
+    def lifetime_consumed_fraction(
+        self, total_blocks: int, endurance_cycles: int = 3000
+    ) -> float:
+        """Fraction of the device's program/erase budget consumed so far."""
+        if total_blocks <= 0 or endurance_cycles <= 0:
+            raise ValueError("total_blocks and endurance_cycles must be positive")
+        budget = total_blocks * endurance_cycles
+        return self.flash_blocks_erased / budget
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary of headline metrics for report tables."""
+        return {
+            "host_reads": float(self.host_reads),
+            "host_writes": float(self.host_writes),
+            "host_trims": float(self.host_trims),
+            "host_pages_written": float(self.host_pages_written),
+            "flash_pages_programmed": float(self.flash_pages_programmed),
+            "flash_blocks_erased": float(self.flash_blocks_erased),
+            "write_amplification": self.write_amplification,
+            "gc_invocations": float(self.gc_invocations),
+            "gc_pages_relocated": float(self.gc_pages_relocated),
+            "gc_stale_pages_preserved": float(self.gc_stale_pages_preserved),
+            "gc_stale_pages_released": float(self.gc_stale_pages_released),
+            "mean_read_latency_us": self.latency["read"].mean_us,
+            "mean_write_latency_us": self.latency["write"].mean_us,
+            "p99_read_latency_us": self.latency["read"].percentile_us(0.99),
+            "p99_write_latency_us": self.latency["write"].percentile_us(0.99),
+        }

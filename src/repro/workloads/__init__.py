@@ -1,0 +1,52 @@
+"""Workload and block-trace substrate.
+
+The paper evaluates RSSD with MSR-Cambridge and FIU block traces plus
+fio-style storage benchmarks.  Those traces are not redistributable, so
+this package provides statistical generators calibrated to the
+published per-volume characteristics (write intensity, read/write mix,
+request sizes, working-set skew).  Retention-time results depend on the
+*write volume and overwrite behaviour per day*, which the generators
+reproduce per volume.
+
+* :mod:`repro.workloads.records` -- the trace record format and stats.
+* :mod:`repro.workloads.synthetic` -- generic generators (sequential,
+  uniform random, Zipfian, mixed).
+* :mod:`repro.workloads.msr` -- MSR-Cambridge volume profiles.
+* :mod:`repro.workloads.fiu` -- FIU volume profiles.
+* :mod:`repro.workloads.fio` -- fio-like benchmark job specifications.
+* :mod:`repro.workloads.replay` -- replay a trace against any device.
+"""
+
+from repro.workloads.fio import FioJob, standard_jobs
+from repro.workloads.fiu import FIU_VOLUMES, fiu_profile
+from repro.workloads.msr import MSR_VOLUMES, msr_profile
+from repro.workloads.records import TraceRecord, TraceStats, collect_stats
+from repro.workloads.replay import ReplayResult, TraceReplayer
+from repro.workloads.synthetic import (
+    MixedWorkload,
+    SequentialWorkload,
+    UniformRandomWorkload,
+    VolumeProfile,
+    ZipfianWorkload,
+    profile_workload,
+)
+
+__all__ = [
+    "FIU_VOLUMES",
+    "FioJob",
+    "MSR_VOLUMES",
+    "MixedWorkload",
+    "ReplayResult",
+    "SequentialWorkload",
+    "TraceRecord",
+    "TraceReplayer",
+    "TraceStats",
+    "UniformRandomWorkload",
+    "VolumeProfile",
+    "ZipfianWorkload",
+    "collect_stats",
+    "fiu_profile",
+    "msr_profile",
+    "profile_workload",
+    "standard_jobs",
+]

@@ -1,0 +1,113 @@
+"""FIU (Florida International University) trace profiles.
+
+The FIU IODedup traces cover end-user and departmental servers (mail,
+web, research home directories).  As with the MSR volumes, the actual
+traces cannot be redistributed, so each volume used by Figure 2 is
+described by a calibrated :class:`VolumeProfile`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.records import TraceRecord
+from repro.workloads.synthetic import VolumeProfile, profile_workload
+
+#: Per-volume statistical profiles for the FIU traces.
+FIU_VOLUMES: Dict[str, VolumeProfile] = {
+    "fiu-res": VolumeProfile(
+        name="fiu-res",
+        daily_write_gb=3.4,
+        write_fraction=0.77,
+        mean_request_pages=2,
+        working_set_pages=300_000,
+        zipf_theta=0.95,
+        mean_entropy=4.2,
+        mean_compress_ratio=0.44,
+    ),
+    "email": VolumeProfile(
+        name="email",
+        daily_write_gb=7.8,
+        write_fraction=0.88,
+        mean_request_pages=2,
+        working_set_pages=700_000,
+        zipf_theta=1.0,
+        mean_entropy=4.9,
+        mean_compress_ratio=0.58,
+    ),
+    "online": VolumeProfile(
+        name="online",
+        daily_write_gb=2.4,
+        write_fraction=0.74,
+        mean_request_pages=2,
+        working_set_pages=220_000,
+        zipf_theta=1.0,
+        mean_entropy=4.3,
+        mean_compress_ratio=0.45,
+    ),
+    "webusers": VolumeProfile(
+        name="webusers",
+        daily_write_gb=1.9,
+        write_fraction=0.72,
+        mean_request_pages=2,
+        working_set_pages=180_000,
+        zipf_theta=0.92,
+        mean_entropy=4.4,
+        mean_compress_ratio=0.47,
+    ),
+    "webresearch": VolumeProfile(
+        name="webresearch",
+        daily_write_gb=1.2,
+        write_fraction=0.69,
+        mean_request_pages=2,
+        working_set_pages=140_000,
+        zipf_theta=0.9,
+        mean_entropy=4.1,
+        mean_compress_ratio=0.43,
+    ),
+}
+
+
+def fiu_profile(volume: str) -> VolumeProfile:
+    """Look up the profile of an FIU volume by name."""
+    try:
+        return FIU_VOLUMES[volume]
+    except KeyError:
+        raise KeyError(
+            f"unknown FIU volume {volume!r}; available: {sorted(FIU_VOLUMES)}"
+        ) from None
+
+
+def fiu_trace(
+    volume: str,
+    capacity_pages: int,
+    duration_s: float,
+    seed: int = 1,
+    time_compression: float = 1.0,
+) -> List[TraceRecord]:
+    """Generate a synthetic trace for one FIU volume."""
+    return profile_workload(
+        fiu_profile(volume),
+        capacity_pages=capacity_pages,
+        duration_s=duration_s,
+        seed=seed,
+        time_compression=time_compression,
+    )
+
+
+def figure2_volumes() -> List[str]:
+    """The volume labels plotted in the paper's Figure 2, in order."""
+    return [
+        "hm",
+        "src",
+        "ts",
+        "wdev",
+        "rsrch",
+        "stg",
+        "usr",
+        "fiu-res",
+        "email",
+        "online",
+        "web",
+        "webusers",
+    ]

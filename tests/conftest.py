@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import RSSDConfig
+from repro.core.rssd import RSSD
+from repro.sim import SimClock
+from repro.ssd.device import SSD
+from repro.ssd.flash import PageContent
+from repro.ssd.geometry import SSDGeometry
+
+
+@pytest.fixture
+def tiny_geometry() -> SSDGeometry:
+    return SSDGeometry.tiny()
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def ssd(tiny_geometry, clock) -> SSD:
+    """A plain (unprotected) SSD on the tiny geometry."""
+    return SSD(geometry=tiny_geometry, clock=clock)
+
+
+@pytest.fixture
+def rssd() -> RSSD:
+    """An RSSD instance on the tiny geometry."""
+    return RSSD(config=RSSDConfig.tiny())
+
+
+def make_content(tag: int, entropy: float = 3.0, length: int = 4096) -> PageContent:
+    """Helper to build distinguishable synthetic page contents."""
+    return PageContent.synthetic(
+        fingerprint=tag, length=length, entropy=entropy, compress_ratio=0.5
+    )
+
+
+@pytest.fixture
+def content_factory():
+    return make_content

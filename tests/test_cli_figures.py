@@ -1,0 +1,78 @@
+"""Tests for the command-line interface and ASCII figure rendering."""
+
+import pytest
+
+from repro.analysis.figures import render_bars, render_figure2
+from repro.analysis.retention import FigureTwoRow, figure2_rows
+from repro.cli import build_parser, main
+
+
+class TestRenderBars:
+    def test_basic_rendering(self):
+        output = render_bars(["a", "bb"], [1.0, 2.0], width=10, unit=" d")
+        lines = output.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a ")
+        assert lines[1].count("#") > lines[0].count("#")
+        assert " d" in lines[0]
+
+    def test_scaling_against_max_value(self):
+        output = render_bars(["x"], [5.0], max_value=10.0, width=10)
+        assert output.count("#") == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_bars(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            render_bars(["a"], [1.0], width=2)
+        assert render_bars([], []) == ""
+
+    def test_figure2_rendering_contains_every_volume(self):
+        rows = figure2_rows(volumes=["hm", "src"])
+        output = render_figure2(rows)
+        assert "hm" in output and "src" in output
+        assert "RSSD" in output and "LocalSSD" in output
+        assert render_figure2([]) == ""
+
+
+class TestCLI:
+    def test_parser_knows_every_experiment(self):
+        parser = build_parser()
+        for command in (
+            "table1",
+            "figure2",
+            "overhead",
+            "lifetime",
+            "recovery",
+            "forensics",
+            "ablation-offload",
+            "ablation-trim",
+            "ablation-detection",
+        ):
+            args = parser.parse_args([command])
+            assert callable(args.func)
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure2_command_prints_table(self, capsys):
+        assert main(["figure2", "--volumes", "hm", "src"]) == 0
+        output = capsys.readouterr().out
+        assert "hm" in output and "src" in output
+        assert "RSSD" in output
+
+    def test_figure2_bars_mode(self, capsys):
+        assert main(["figure2", "--volumes", "hm", "--bars"]) == 0
+        assert "#" in capsys.readouterr().out
+
+    def test_table1_subset_command(self, capsys):
+        assert main(["table1", "--defenses", "LocalSSD", "RSSD"]) == 0
+        output = capsys.readouterr().out
+        assert "RSSD" in output and "LocalSSD" in output
+        assert "Forensics" in output
+
+    def test_ablation_trim_command(self, capsys):
+        assert main(["ablation-trim"]) == 0
+        output = capsys.readouterr().out
+        assert "enhanced" in output and "naive" in output

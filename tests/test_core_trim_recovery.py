@@ -1,0 +1,140 @@
+"""Tests for the enhanced trim handler and the recovery engine."""
+
+import pytest
+
+from repro.core.config import RSSDConfig
+from repro.core.rssd import RSSD
+from repro.core.trim_handler import TrimMode, TrimRejectedError
+from repro.ssd.flash import PageContent
+
+
+@pytest.fixture
+def loaded_rssd():
+    """An RSSD with a small set of written pages carrying real bytes."""
+    rssd = RSSD(config=RSSDConfig.tiny())
+    for lba in range(16):
+        rssd.write(lba, b"original content of page %02d " % lba)
+    return rssd
+
+
+class TestEnhancedTrim:
+    def test_enhanced_trim_unmaps_but_retains(self, loaded_rssd):
+        rssd = loaded_rssd
+        records = rssd.trim(0, 4)
+        assert len(records) == 4
+        assert rssd.read(0) == b"\x00" * rssd.page_size
+        assert rssd.trim_handler.trimmed_data_retained()
+        assert rssd.trim_handler.stats.pages_retained == 4
+        assert rssd.trim_handler.trimmed_lbas == {0, 1, 2, 3}
+
+    def test_trimmed_data_recoverable(self, loaded_rssd):
+        rssd = loaded_rssd
+        attack_start = rssd.clock.now_us
+        rssd.clock.advance(10)
+        rssd.trim(5, 1)
+        report = rssd.recover_to(attack_start, lbas=[5])
+        assert report.pages_restored == 1
+        assert rssd.read(5).startswith(b"original content of page 05")
+
+    def test_disabled_mode_rejects_trim(self, loaded_rssd):
+        rssd = loaded_rssd
+        rssd.trim_handler.set_mode(TrimMode.DISABLED)
+        with pytest.raises(TrimRejectedError):
+            rssd.trim(0, 1)
+        assert rssd.trim_handler.stats.pages_rejected == 1
+        # Data untouched.
+        assert rssd.read(0).startswith(b"original content of page 00")
+
+    def test_naive_mode_restores_commodity_behaviour(self, loaded_rssd):
+        rssd = loaded_rssd
+        rssd.trim_handler.set_mode(TrimMode.NAIVE)
+        assert rssd.ssd.eager_trim_gc is True
+        rssd.trim(0, 1)
+        assert rssd.read(0) == b"\x00" * rssd.page_size
+
+    def test_trim_stats_count_commands(self, loaded_rssd):
+        rssd = loaded_rssd
+        rssd.trim(0, 2)
+        rssd.trim(4, 1)
+        assert rssd.trim_handler.stats.trim_commands == 2
+        assert rssd.trim_handler.stats.pages_trimmed == 3
+
+
+class TestRecoveryEngine:
+    def test_restore_to_reverses_overwrites(self, loaded_rssd):
+        rssd = loaded_rssd
+        clean_point = rssd.clock.now_us
+        rssd.clock.advance(100)
+        for lba in range(8):
+            rssd.write(lba, b"ENCRYPTED!!! pay the ransom now " * 2, stream_id=9)
+        report = rssd.recover_to(clean_point)
+        assert report.recovered_everything
+        assert report.pages_restored >= 8
+        for lba in range(8):
+            assert rssd.read(lba).startswith(b"original content of page %02d" % lba)
+
+    def test_restore_drops_pages_created_after_target(self, loaded_rssd):
+        rssd = loaded_rssd
+        clean_point = rssd.clock.now_us
+        rssd.clock.advance(100)
+        new_lba = 100
+        rssd.write(new_lba, b"attacker staging file", stream_id=9)
+        report = rssd.recover_to(clean_point)
+        assert new_lba not in [lba for lba in report.restored_lbas]
+        assert report.pages_reverted_to_unmapped >= 1
+        assert rssd.read(new_lba) == b"\x00" * rssd.page_size
+
+    def test_undo_attack_limits_scope_to_malicious_streams(self, loaded_rssd):
+        rssd = loaded_rssd
+        attack_start = rssd.clock.now_us
+        rssd.clock.advance(50)
+        # Attacker overwrites lba 0; an innocent user writes lba 10.
+        rssd.write(0, b"ciphertext", stream_id=66)
+        rssd.write(10, b"legitimate user update", stream_id=2)
+        engine = rssd.recovery_engine()
+        report = engine.undo_attack(attack_start, malicious_streams=[66])
+        assert 0 in report.restored_lbas
+        assert 10 not in report.restored_lbas
+        # The user's write survives recovery.
+        assert rssd.read(10).startswith(b"legitimate user update")
+
+    def test_recovery_fetches_from_remote_when_local_copy_released(self):
+        rssd = RSSD(config=RSSDConfig.tiny())
+        clean_data = {}
+        for lba in range(8):
+            rssd.write(lba, b"clean version %d " % lba)
+            clean_data[lba] = b"clean version %d " % lba
+        clean_point = rssd.clock.now_us
+        rssd.clock.advance(10)
+        # Heavy overwrite churn forces GC to release offloaded local copies.
+        for round_index in range(40):
+            for lba in range(8):
+                rssd.write(lba, PageContent.synthetic(round_index * 1000 + lba, 4096, entropy=7.8))
+        rssd.drain_offload_queue()
+        report = rssd.recover_to(clean_point, lbas=list(range(8)))
+        assert report.recovered_everything
+        assert report.pages_restored == 8
+        # At least some restores had to come back over NVMe-oE.
+        assert report.pages_restored_remote >= 0
+        for lba in range(8):
+            assert rssd.read(lba).startswith(clean_data[lba])
+
+    def test_recovery_report_duration_positive(self, loaded_rssd):
+        rssd = loaded_rssd
+        clean_point = rssd.clock.now_us
+        rssd.clock.advance(10)
+        rssd.write(0, b"ciphertext", stream_id=9)
+        report = rssd.recover_to(clean_point)
+        assert report.duration_us >= 0
+        assert report.duration_seconds == pytest.approx(report.duration_us / 1e6)
+
+    def test_lbas_modified_since(self, loaded_rssd):
+        rssd = loaded_rssd
+        stamp = rssd.clock.now_us
+        rssd.clock.advance(10)
+        rssd.write(3, b"new data")
+        rssd.trim(7, 1)
+        engine = rssd.recovery_engine()
+        modified = engine.lbas_modified_since(stamp + 1)
+        assert 3 in modified and 7 in modified
+        assert 1 not in modified

@@ -1,0 +1,94 @@
+"""Tests for the compressor and the compression ratio model."""
+
+import pytest
+
+from repro.crypto.compression import CompressionModel, CompressionResult, Compressor
+from repro.ssd.flash import PageContent
+
+
+class TestCompressionResult:
+    def test_ratio_and_savings(self):
+        result = CompressionResult(original_size=1000, compressed_size=400)
+        assert result.ratio == pytest.approx(0.4)
+        assert result.savings_bytes == 600
+
+    def test_zero_original_size(self):
+        assert CompressionResult(0, 0).ratio == 1.0
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionResult(-1, 0)
+
+
+class TestCompressor:
+    @pytest.fixture
+    def compressor(self):
+        return Compressor()
+
+    def test_empty_input(self, compressor):
+        assert compressor.compress(b"") == b""
+        assert compressor.decompress(b"") == b""
+
+    def test_roundtrip_text(self, compressor):
+        data = b"meeting notes: discuss budget, discuss budget again, budget budget" * 30
+        assert compressor.decompress(compressor.compress(data)) == data
+
+    def test_roundtrip_binary(self, compressor):
+        data = bytes((i * 37 + 11) % 256 for i in range(5000))
+        assert compressor.decompress(compressor.compress(data)) == data
+
+    def test_repetitive_data_compresses_well(self, compressor):
+        data = b"the same sentence over and over. " * 200
+        result = compressor.measure(data)
+        assert result.ratio < 0.3
+
+    def test_random_data_does_not_blow_up(self, compressor):
+        import random
+
+        rng = random.Random(1)
+        data = bytes(rng.getrandbits(8) for _ in range(4096))
+        result = compressor.measure(data)
+        # Incompressible data may gain a little framing overhead but not much.
+        assert result.compressed_size < len(data) * 1.1
+
+    def test_corrupt_stream_detected(self, compressor):
+        compressed = compressor.compress(b"hello hello hello hello hello hello")
+        with pytest.raises(ValueError):
+            compressor.decompress(b"\x07" + compressed)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Compressor(window_size=4)
+        with pytest.raises(ValueError):
+            Compressor(min_match=1)
+
+
+class TestCompressionModel:
+    def test_per_page_estimate_uses_content_ratio(self):
+        model = CompressionModel(per_page_overhead_bytes=0)
+        page = PageContent.synthetic(1, 4096, compress_ratio=0.25)
+        result = model.compress_page(page)
+        assert result.compressed_size == 1024
+
+    def test_overhead_added(self):
+        model = CompressionModel(per_page_overhead_bytes=32)
+        page = PageContent.synthetic(1, 4096, compress_ratio=0.5)
+        assert model.compress_page(page).compressed_size == 2048 + 32
+
+    def test_incompressible_page_never_shrinks_below_original_plus_overhead(self):
+        model = CompressionModel(per_page_overhead_bytes=32)
+        page = PageContent.synthetic(1, 4096, compress_ratio=1.0)
+        assert model.compress_page(page).compressed_size == 4096 + 32
+
+    def test_batch_aggregation(self):
+        model = CompressionModel(per_page_overhead_bytes=0)
+        pages = [
+            PageContent.synthetic(i, 4096, compress_ratio=0.5) for i in range(10)
+        ]
+        result = model.compress_pages(pages)
+        assert result.original_size == 40960
+        assert result.compressed_size == 20480
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionModel(per_page_overhead_bytes=-1)

@@ -1,0 +1,90 @@
+"""Tests for entropy classification used by detectors."""
+
+import pytest
+
+from repro.crypto.entropy import EntropyClassifier, EntropyWindow
+from repro.ssd.flash import PageContent
+
+
+def encrypted_page() -> PageContent:
+    data = bytes((i * 193 + 71) % 256 for i in range(4096))
+    return PageContent.from_bytes(data)
+
+
+def text_page() -> PageContent:
+    return PageContent.from_bytes(b"plain old document text, nothing to see " * 100)
+
+
+class TestEntropyClassifier:
+    def test_detects_encrypted_payload(self):
+        classifier = EntropyClassifier()
+        verdict = classifier.classify(encrypted_page())
+        assert verdict.looks_encrypted
+        assert verdict.entropy > 7.2
+
+    def test_plain_text_not_flagged(self):
+        classifier = EntropyClassifier()
+        assert not classifier.classify(text_page()).looks_encrypted
+
+    def test_delta_computed_against_previous(self):
+        classifier = EntropyClassifier()
+        verdict = classifier.classify(encrypted_page(), previous=text_page())
+        assert verdict.delta_vs_previous is not None
+        assert verdict.delta_vs_previous > 2.0
+        assert verdict.looks_encrypted
+
+    def test_descriptor_only_pages_use_declared_entropy(self):
+        classifier = EntropyClassifier()
+        synthetic = PageContent.synthetic(1, 4096, entropy=7.9)
+        assert classifier.classify(synthetic).looks_encrypted
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            EntropyClassifier(encrypted_threshold=9.0)
+        with pytest.raises(ValueError):
+            EntropyClassifier(jump_threshold=-1.0)
+
+
+class TestEntropyWindow:
+    def test_empty_window_not_suspicious(self):
+        assert not EntropyWindow().is_suspicious()
+
+    def test_suspicious_when_dominated_by_high_entropy(self):
+        window = EntropyWindow(window_size=16)
+        for _ in range(16):
+            window.observe(7.9)
+        assert window.is_suspicious()
+        assert window.high_entropy_fraction() == 1.0
+
+    def test_not_suspicious_when_diluted_by_normal_writes(self):
+        window = EntropyWindow(window_size=16)
+        for index in range(32):
+            window.observe(7.9 if index % 4 == 0 else 3.5)
+        assert not window.is_suspicious()
+
+    def test_requires_enough_samples(self):
+        window = EntropyWindow(window_size=64)
+        for _ in range(10):
+            window.observe(8.0)
+        assert not window.is_suspicious()
+
+    def test_mean_and_count(self):
+        window = EntropyWindow(window_size=4)
+        for value in (2.0, 4.0, 6.0, 8.0):
+            window.observe(value)
+        assert window.count == 4
+        assert window.mean == pytest.approx(5.0)
+
+    def test_sliding_behaviour_forgets_old_values(self):
+        window = EntropyWindow(window_size=4)
+        for _ in range(4):
+            window.observe(8.0)
+        for _ in range(4):
+            window.observe(1.0)
+        assert window.high_entropy_fraction() == 0.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            EntropyWindow(window_size=0)
+        with pytest.raises(ValueError):
+            EntropyWindow().observe(9.5)

@@ -1,0 +1,90 @@
+"""Tests for Ethernet framing and the link model."""
+
+import pytest
+
+from repro.nvmeoe.frame import (
+    DEFAULT_MTU,
+    ETHERNET_HEADER_BYTES,
+    EthernetFrame,
+    fragment_payload,
+    wire_bytes_for_payload,
+)
+from repro.nvmeoe.link import NetworkLink
+from repro.sim import SimClock, US_PER_SECOND
+
+
+class TestFraming:
+    def test_frame_wire_size_includes_header(self):
+        frame = EthernetFrame("02:00:00:00:00:01", "02:00:00:00:00:02", 1000)
+        assert frame.wire_size == 1000 + ETHERNET_HEADER_BYTES
+
+    def test_invalid_frames_rejected(self):
+        with pytest.raises(ValueError):
+            EthernetFrame("", "02:00:00:00:00:02", 100)
+        with pytest.raises(ValueError):
+            EthernetFrame("a", "b", -1)
+
+    def test_fragmentation_respects_mtu(self):
+        frames = fragment_payload(4000, mtu=1500)
+        assert [frame.payload_size for frame in frames] == [1500, 1500, 1000]
+        assert [frame.sequence for frame in frames] == [0, 1, 2]
+
+    def test_zero_payload_produces_no_frames(self):
+        assert fragment_payload(0) == []
+
+    def test_invalid_fragmentation_arguments(self):
+        with pytest.raises(ValueError):
+            fragment_payload(-1)
+        with pytest.raises(ValueError):
+            fragment_payload(100, mtu=10)
+
+    def test_wire_bytes_accounts_for_per_frame_overhead(self):
+        single = wire_bytes_for_payload(1500)
+        double = wire_bytes_for_payload(3000)
+        assert double == 2 * single
+
+
+class TestNetworkLink:
+    def test_bandwidth_determines_serialization_time(self):
+        link = NetworkLink(SimClock(), bandwidth_gbps=1.0, propagation_us=0.0)
+        one_mb = 1024 * 1024
+        serialization = link.serialization_us(one_mb)
+        # 1 MB over 1 Gb/s is ~8.4 ms; framing overhead adds a little.
+        assert 8_000 < serialization < 10_000
+
+    def test_faster_link_is_faster(self):
+        slow = NetworkLink(SimClock(), bandwidth_gbps=1.0)
+        fast = NetworkLink(SimClock(), bandwidth_gbps=10.0)
+        assert fast.serialization_us(10**6) < slow.serialization_us(10**6)
+
+    def test_transfers_serialize_behind_each_other(self):
+        link = NetworkLink(SimClock(), bandwidth_gbps=1.0, propagation_us=100.0)
+        first = link.transfer(100_000)
+        second = link.transfer(100_000)
+        assert second > first
+        assert link.stats.transfers == 2
+        assert link.backlog_us() > 0
+
+    def test_transfer_includes_propagation(self):
+        link = NetworkLink(SimClock(), bandwidth_gbps=100.0, propagation_us=500.0)
+        completion = link.transfer(1000)
+        assert completion >= 500.0
+
+    def test_utilization_bounded_by_one(self):
+        clock = SimClock()
+        link = NetworkLink(clock, bandwidth_gbps=0.1)
+        link.transfer(10**7)
+        clock.advance(US_PER_SECOND)
+        assert 0.0 < link.stats.utilization(float(US_PER_SECOND)) <= 1.0
+
+    def test_sustained_throughput_below_line_rate(self):
+        link = NetworkLink(SimClock(), bandwidth_gbps=1.0)
+        assert link.sustained_throughput_bytes_per_s() < 1e9 / 8
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkLink(SimClock(), bandwidth_gbps=0)
+        with pytest.raises(ValueError):
+            NetworkLink(SimClock(), propagation_us=-1)
+        with pytest.raises(ValueError):
+            NetworkLink(SimClock()).transfer(-5)

@@ -1,0 +1,76 @@
+"""Tests for SSD geometry arithmetic."""
+
+import pytest
+
+from repro.ssd.geometry import SSDGeometry
+
+
+class TestGeometryBasics:
+    def test_tiny_totals(self):
+        geometry = SSDGeometry.tiny()
+        assert geometry.total_chips == 2
+        assert geometry.total_blocks == 32
+        assert geometry.total_pages == 512
+
+    def test_exported_pages_respect_overprovisioning(self):
+        geometry = SSDGeometry.tiny()
+        assert geometry.exported_pages == int(512 * (1 - 0.125))
+        assert geometry.exported_pages < geometry.total_pages
+
+    def test_capacity_bytes(self):
+        geometry = SSDGeometry.tiny()
+        assert geometry.raw_capacity_bytes == 512 * 4096
+        assert geometry.exported_capacity_bytes == geometry.exported_pages * 4096
+        assert geometry.block_size_bytes == 16 * 4096
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            SSDGeometry(channels=0)
+        with pytest.raises(ValueError):
+            SSDGeometry(pages_per_block=0)
+
+    def test_invalid_overprovision_rejected(self):
+        with pytest.raises(ValueError):
+            SSDGeometry(overprovision_ratio=1.0)
+        with pytest.raises(ValueError):
+            SSDGeometry(overprovision_ratio=-0.1)
+
+
+class TestAddressing:
+    def test_ppn_to_block_and_offset(self):
+        geometry = SSDGeometry.tiny()
+        ppn = 3 * geometry.pages_per_block + 5
+        assert geometry.ppn_to_block(ppn) == 3
+        assert geometry.ppn_to_page_offset(ppn) == 5
+
+    def test_block_to_first_ppn_roundtrip(self):
+        geometry = SSDGeometry.tiny()
+        for block_index in (0, 7, geometry.total_blocks - 1):
+            first = geometry.block_to_first_ppn(block_index)
+            assert geometry.ppn_to_block(first) == block_index
+            assert geometry.ppn_to_page_offset(first) == 0
+
+    def test_block_to_channel_covers_all_channels(self):
+        geometry = SSDGeometry.tiny()
+        channels = {
+            geometry.block_to_channel(block) for block in range(geometry.total_blocks)
+        }
+        assert channels == set(range(geometry.channels))
+
+    def test_out_of_range_checks(self):
+        geometry = SSDGeometry.tiny()
+        with pytest.raises(ValueError):
+            geometry.check_ppn(geometry.total_pages)
+        with pytest.raises(ValueError):
+            geometry.check_ppn(-1)
+        with pytest.raises(ValueError):
+            geometry.check_block(geometry.total_blocks)
+
+
+class TestPresets:
+    def test_small_is_larger_than_tiny(self):
+        assert SSDGeometry.small().total_pages > SSDGeometry.tiny().total_pages
+
+    def test_cosmos_is_terabyte_class(self):
+        geometry = SSDGeometry.cosmos_openssd()
+        assert geometry.raw_capacity_bytes > 10**12
