@@ -1,0 +1,105 @@
+"""Replay throughput: the batched I/O engine versus the per-op loop.
+
+Replays the same burst-structured synthetic trace against two identical
+RSSD devices -- once through the per-op loop (one Python call per trace
+record) and once through the batched path (contiguous same-op runs
+coalesced into vectorized ``write_batch`` / ``read_batch`` /
+``trim_range`` commands) -- and compares wall-clock throughput.  The
+batched path must be at least ``MIN_SPEEDUP`` times faster; this is the
+change that makes fleet-scale trace replay feasible in Python.
+
+Set ``REPRO_SMOKE=1`` (as CI does) to run a shorter trace with a
+relaxed threshold suited to noisy shared runners.
+"""
+
+import os
+import time
+
+from repro.core.config import RSSDConfig
+from repro.core.rssd import RSSD
+from repro.ssd.geometry import SSDGeometry
+from repro.workloads.replay import BatchTraceReplayer, TraceReplayer
+from repro.workloads.synthetic import BurstyWorkload
+
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+TRACE_OPS = 10_000 if SMOKE else 100_000
+MIN_SPEEDUP = 2.0 if SMOKE else 5.0
+MAX_BATCH_PAGES = 256
+
+#: Large enough that the 100k-op ingest mostly lands on fresh pages, the
+#: way a replay node streams a trace onto a provisioned device.
+GEOMETRY = SSDGeometry(
+    channels=4, chips_per_channel=2, blocks_per_chip=256, pages_per_block=64
+)
+
+
+def build_device() -> RSSD:
+    return RSSD(RSSDConfig(geometry=GEOMETRY))
+
+
+def build_trace():
+    workload = BurstyWorkload(
+        capacity_pages=build_device().capacity_pages,
+        write_fraction=0.25,
+        read_fraction=0.70,
+        burst_records=(64, 256),
+        seed=11,
+    )
+    return workload.generate(TRACE_OPS)
+
+
+def timed_replay(replayer_factory, trace, repeats):
+    """Best-of-``repeats`` wall-clock replay time on fresh devices."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        replayer = replayer_factory()
+        started = time.perf_counter()
+        result = replayer.replay(trace)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def test_batched_replay_is_5x_faster(benchmark):
+    trace = build_trace()
+
+    batched_s, batched_result = timed_replay(
+        lambda: BatchTraceReplayer(
+            build_device(), honor_timestamps=False, max_batch_pages=MAX_BATCH_PAGES
+        ),
+        trace,
+        repeats=4,
+    )
+    per_op_s, per_op_result = benchmark.pedantic(
+        lambda: timed_replay(
+            lambda: TraceReplayer(build_device(), honor_timestamps=False),
+            trace,
+            repeats=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    per_op_ops = len(trace) / per_op_s
+    batched_ops = len(trace) / batched_s
+    speedup = batched_ops / per_op_ops
+    print(
+        f"\n[P5] Trace replay throughput ({len(trace):,} ops)\n"
+        f"  per-op loop : {per_op_s:6.2f}s  {per_op_ops:10,.0f} ops/s\n"
+        f"  batched path: {batched_s:6.2f}s  {batched_ops:10,.0f} ops/s "
+        f"(coalescing {batched_result.coalescing_factor:.1f} records/command)\n"
+        f"  speedup     : {speedup:.2f}x (required >= {MIN_SPEEDUP:.1f}x)"
+    )
+
+    # Both paths replayed the same logical traffic.
+    assert batched_result.records_replayed == per_op_result.records_replayed == len(trace)
+    assert batched_result.pages_written == per_op_result.pages_written
+    assert batched_result.pages_read == per_op_result.pages_read
+    assert batched_result.pages_trimmed == per_op_result.pages_trimmed
+    # And the batched engine is decisively faster.
+    assert batched_result.coalescing_factor > 10.0
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched replay only {speedup:.2f}x faster than the per-op loop"
+    )

@@ -106,6 +106,35 @@ def _cmd_ablation_detection(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_fleet(args: argparse.Namespace) -> str:
+    from repro.ssd.geometry import SSDGeometry
+    from repro.workloads.fleet import FleetRunner, default_fleet_factories
+    from repro.workloads.synthetic import BurstyWorkload
+
+    # The small geometry gives the fleet enough capacity that retention-
+    # pinning baselines survive the ingest instead of exhausting flash.
+    geometry = SSDGeometry.small()
+    runner = FleetRunner(
+        factories=default_fleet_factories(geometry=geometry),
+        honor_timestamps=False,
+        max_batch_pages=args.max_batch_pages,
+        batched=not args.per_op,
+    )
+    trace = BurstyWorkload(
+        capacity_pages=geometry.exported_pages, seed=args.seed
+    ).generate(args.records)
+    if args.shard:
+        report = runner.run_sharded(trace, parallel=args.parallel)
+    else:
+        report = runner.run_mirrored(trace, parallel=args.parallel)
+    header = (
+        f"Fleet replay ({report.mode}, {'batched' if report.batched else 'per-op'}): "
+        f"{report.total_records:,} records, "
+        f"{report.total_ops_per_second:,.0f} ops/s aggregate\n"
+    )
+    return header + report.format_table()
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -148,6 +177,17 @@ def build_parser() -> argparse.ArgumentParser:
         "ablation-detection", help="A3: local vs offloaded detection"
     )
     ablation_detection.set_defaults(func=_cmd_ablation_detection)
+
+    fleet = subparsers.add_parser(
+        "fleet", help="Replay a synthetic trace against a fleet of devices"
+    )
+    fleet.add_argument("--records", type=int, default=20_000, help="trace length")
+    fleet.add_argument("--seed", type=int, default=11)
+    fleet.add_argument("--shard", action="store_true", help="split the trace across devices")
+    fleet.add_argument("--parallel", action="store_true", help="replay devices on threads")
+    fleet.add_argument("--per-op", action="store_true", help="use the per-op replay loop")
+    fleet.add_argument("--max-batch-pages", type=int, default=128)
+    fleet.set_defaults(func=_cmd_fleet)
 
     return parser
 

@@ -81,6 +81,10 @@ class OffloadEngine:
         # firmware capability for the embedded NIC.
         self._token: FirmwareToken = nic.issue_firmware_token()
         self._nonce = 0
+        # Position of the next unexamined sealed log segment: segments
+        # seal append-only, so everything before the cursor has already
+        # been shipped and never needs rescanning.
+        self._log_segment_cursor = 0
 
     # -- page offloading ------------------------------------------------------
 
@@ -137,10 +141,15 @@ class OffloadEngine:
 
     def offload_log_segments(self, oplog: OperationLog) -> int:
         """Ship every sealed-but-unoffloaded log segment.  Returns segments shipped."""
+        cursor = self._log_segment_cursor
+        if cursor >= oplog.sealed_segment_count:
+            return 0
         shipped = 0
-        for segment in oplog.sealed_segments(unoffloaded_only=True):
-            self._ship_log_segment(segment)
-            shipped += 1
+        for segment in oplog.sealed_segments_since(cursor):
+            if not segment.offloaded:
+                self._ship_log_segment(segment)
+                shipped += 1
+        self._log_segment_cursor = oplog.sealed_segment_count
         return shipped
 
     def _ship_log_segment(self, segment: LogSegment) -> None:

@@ -147,6 +147,19 @@ class OperationLog:
             return [segment for segment in self._segments if not segment.offloaded]
         return list(self._segments)
 
+    @property
+    def sealed_segment_count(self) -> int:
+        return len(self._segments)
+
+    def sealed_segments_since(self, index: int) -> List[LogSegment]:
+        """Sealed segments from position ``index`` on (in sealing order).
+
+        Segments are append-only, so the offload engine polls for new
+        work with a cursor instead of rescanning the whole list on every
+        drain -- the scan made log offloading quadratic in trace length.
+        """
+        return self._segments[index:]
+
     # -- queries ---------------------------------------------------------------
 
     @property

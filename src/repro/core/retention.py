@@ -85,6 +85,21 @@ class RetentionManager:
             return True
         return record.offloaded
 
+    def count_releasable(self, records: List[StalePage]) -> int:
+        """Batched :meth:`may_release` used by GC victim accounting.
+
+        GC scores candidate blocks on every pass, so the per-record
+        policy call is replaced by one tight scan with identical
+        semantics.
+        """
+        expendable = self._expendable
+        if expendable:
+            return sum(
+                1 for record in records
+                if record.offloaded or id(record) in expendable
+            )
+        return sum(1 for record in records if record.offloaded)
+
     def on_release(self, record: StalePage) -> None:
         if id(record) in self._expendable:
             self._expendable.discard(id(record))
@@ -139,8 +154,14 @@ class RetentionManager:
 
     @property
     def pending_pages(self) -> int:
-        """Stale pages still waiting to be offloaded."""
-        return sum(1 for record in self._pending if not record.offloaded)
+        """Stale pages still waiting to be offloaded.
+
+        O(1): records only enter the queue unoffloaded and are only
+        marked offloaded after :meth:`take_pending` has removed them, so
+        the queue length is exactly the unoffloaded total (the offload
+        engine polls this on every drain, so it must not rescan).
+        """
+        return len(self._pending)
 
     @property
     def archived_lbas(self) -> int:

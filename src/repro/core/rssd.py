@@ -136,6 +136,27 @@ class RSSD:
     def flush(self, stream_id: int = 0) -> int:
         return self.ssd.flush(stream_id=stream_id)
 
+    # -- batched block interface ---------------------------------------------------
+    #
+    # Vectorized counterparts of read/write/trim.  Each call is one host
+    # command covering a contiguous LBA run: the SSD programs the pages
+    # in one pass and observers (operation log, local detector) see one
+    # aggregated event, which is what makes fleet-scale trace replay
+    # feasible in Python.
+
+    def read_batch(self, lba: int, npages: int = 1, stream_id: int = 0) -> bytes:
+        return self.ssd.read_batch(lba, npages, stream_id=stream_id)
+
+    def write_batch(self, lba: int, data, stream_id: int = 0) -> HostOp:
+        op = self.ssd.write_batch(lba, data, stream_id=stream_id)
+        self._after_op()
+        return op
+
+    def trim_range(self, lba: int, npages: int = 1, stream_id: int = 0) -> List[StalePage]:
+        records = self.trim_handler.trim_range(lba, npages, stream_id=stream_id)
+        self._after_op()
+        return records
+
     def _after_op(self) -> None:
         self._ops_since_drain += 1
         if self._ops_since_drain >= self.offload_interval_ops:

@@ -44,7 +44,10 @@ class TrimStats:
     """Counters kept by the trim handler."""
 
     trim_commands: int = 0
+    #: Pages that actually had a mapping and produced a stale record.
     pages_trimmed: int = 0
+    #: Trimmed LBAs that were already unmapped (no data to invalidate).
+    pages_unmapped: int = 0
     pages_retained: int = 0
     pages_rejected: int = 0
     remap_operations: int = 0
@@ -61,6 +64,10 @@ class EnhancedTrimHandler:
         self.mode = mode
         self.stats = TrimStats()
         self._trimmed_lbas: Set[int] = set()
+        # Remap cost below 1 us per command must not truncate away:
+        # fractional microseconds accumulate here and are charged to the
+        # clock once they add up to whole microseconds.
+        self._remap_cost_accum_us = 0.0
         self._apply_mode()
 
     def _apply_mode(self) -> None:
@@ -75,21 +82,51 @@ class EnhancedTrimHandler:
 
     def trim(self, lba: int, npages: int = 1, stream_id: int = 0) -> List[StalePage]:
         """Handle one trim command according to the configured mode."""
+        self._check_accepts_trim(npages)
+        records = self.ssd.trim(lba, npages, stream_id=stream_id)
+        self._account_trim(lba, npages, records)
+        return records
+
+    def trim_range(self, lba: int, npages: int = 1, stream_id: int = 0) -> List[StalePage]:
+        """Batched form of :meth:`trim` built on the SSD's vectorized path.
+
+        Semantics and accounting are identical to :meth:`trim`; only the
+        per-page Python overhead differs.
+        """
+        self._check_accepts_trim(npages)
+        records = self.ssd.trim_range(lba, npages, stream_id=stream_id)
+        self._account_trim(lba, npages, records)
+        return records
+
+    def _check_accepts_trim(self, npages: int) -> None:
         self.stats.trim_commands += 1
         if self.mode is TrimMode.DISABLED:
             self.stats.pages_rejected += npages
             raise TrimRejectedError(
                 "trim commands are administratively disabled on this device"
             )
-        records = self.ssd.trim(lba, npages, stream_id=stream_id)
-        self.stats.pages_trimmed += npages
+
+    def _account_trim(self, lba: int, npages: int, records: List[StalePage]) -> None:
+        self.stats.pages_trimmed += len(records)
+        self.stats.pages_unmapped += npages - len(records)
         if self.mode is TrimMode.ENHANCED:
             self.stats.pages_retained += len(records)
             self.stats.remap_operations += len(records)
-            self.ssd.clock.advance(int(self.REMAP_US_PER_PAGE * max(1, len(records))))
-            for offset in range(npages):
-                self._trimmed_lbas.add(lba + offset)
-        return records
+            self._charge_remap_cost(max(1, len(records)))
+            self._trimmed_lbas.update(range(lba, lba + npages))
+
+    def _charge_remap_cost(self, remapped_pages: int) -> None:
+        """Advance the clock by the firmware remap cost, without truncation.
+
+        The cost per page is sub-microsecond, so whole microseconds are
+        charged as they accumulate across commands rather than being
+        truncated away per command (a single-page trim used to charge 0).
+        """
+        self._remap_cost_accum_us += self.REMAP_US_PER_PAGE * remapped_pages
+        whole_us = int(self._remap_cost_accum_us)
+        if whole_us:
+            self._remap_cost_accum_us -= whole_us
+            self.ssd.clock.advance(whole_us)
 
     # -- invariants used by tests and the trim ablation -----------------------------
 

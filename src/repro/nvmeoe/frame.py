@@ -65,6 +65,17 @@ def fragment_payload(
 
 
 def wire_bytes_for_payload(payload_bytes: int, mtu: int = DEFAULT_MTU) -> int:
-    """Total bytes on the wire (payload + per-frame headers) for a capsule."""
-    frames = fragment_payload(payload_bytes, mtu=mtu)
-    return sum(frame.wire_size for frame in frames)
+    """Total bytes on the wire (payload + per-frame headers) for a capsule.
+
+    Closed form of summing :func:`fragment_payload` frame sizes -- the
+    offload path computes this for every capsule, so it must not
+    materialise the frame list.
+    """
+    if payload_bytes < 0:
+        raise ValueError("payload_bytes must be non-negative")
+    if mtu < 64:
+        raise ValueError("mtu must be at least 64 bytes")
+    if payload_bytes == 0:
+        return 0
+    frame_count = (payload_bytes + mtu - 1) // mtu
+    return payload_bytes + frame_count * ETHERNET_HEADER_BYTES

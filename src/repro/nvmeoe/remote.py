@@ -44,6 +44,10 @@ class ObjectStore:
         self.name = name
         self._objects: Dict[str, RemoteObject] = {}
         self._arrival_order: List[str] = []
+        # Running totals; the store is append-only, so the counters are
+        # exact and keep ``stored_bytes`` O(1) on the offload hot path.
+        self._stored_bytes = 0
+        self._stored_entries = 0
 
     @property
     def object_count(self) -> int:
@@ -51,11 +55,11 @@ class ObjectStore:
 
     @property
     def stored_bytes(self) -> int:
-        return sum(obj.size_bytes for obj in self._objects.values())
+        return self._stored_bytes
 
     @property
     def stored_entries(self) -> int:
-        return sum(obj.entries for obj in self._objects.values())
+        return self._stored_entries
 
     def put_capsule(self, capsule: Capsule, arrival_us: float) -> RemoteObject:
         """Store one capsule body as an immutable object."""
@@ -73,6 +77,8 @@ class ObjectStore:
         )
         self._objects[key] = obj
         self._arrival_order.append(key)
+        self._stored_bytes += obj.size_bytes
+        self._stored_entries += obj.entries
         return obj
 
     def get(self, key: str) -> RemoteObject:
@@ -111,14 +117,18 @@ class StorageServer:
         self.name = name
         self.capacity_bytes = capacity_bytes
         self._segments: List[RemoteObject] = []
+        # Running totals kept exact by the append-only discipline; the
+        # free-space check runs on every capsule, so it must be O(1).
+        self._stored_bytes = 0
+        self._stored_entries = 0
 
     @property
     def stored_bytes(self) -> int:
-        return sum(segment.size_bytes for segment in self._segments)
+        return self._stored_bytes
 
     @property
     def stored_entries(self) -> int:
-        return sum(segment.entries for segment in self._segments)
+        return self._stored_entries
 
     @property
     def free_bytes(self) -> int:
@@ -145,6 +155,8 @@ class StorageServer:
             metadata=dict(capsule.metadata),
         )
         self._segments.append(segment)
+        self._stored_bytes += segment.size_bytes
+        self._stored_entries += segment.entries
         return segment
 
     def segments(self) -> List[RemoteObject]:

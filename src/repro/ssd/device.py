@@ -238,6 +238,104 @@ class SSD:
             self._maybe_collect()
         return records
 
+    # -- batched host interface ------------------------------------------------
+    #
+    # The batched entry points program many pages per Python call: one
+    # command overhead, per-page flash cost, one aggregated HostOp (so
+    # observers such as the operation log and the local detector append
+    # per batch).  They perform exactly the state transitions of the
+    # per-op methods above, in the same order, so device state, metrics
+    # and the evidence chain stay bit-identical between the two paths --
+    # a property the equivalence tests pin down.
+
+    def read_batch(self, lba: int, npages: int = 1, stream_id: int = 0) -> bytes:
+        """Vectorized form of :meth:`read` for a contiguous LBA run."""
+        self._check_range(lba, npages)
+        page_size = self.page_size
+        read_cost = self.latency.read_page_us(page_size)
+        dram_cost = self.latency.dram_access_us
+        zero_page = b"\x00" * page_size
+        chunks: List[bytes] = []
+        total_latency = self.op_overhead_us[HostOpType.READ]
+        for content in self.ftl.read_run(lba, npages):
+            if content is not None and content.payload is not None:
+                chunks.append(content.payload.ljust(page_size, b"\x00"))
+            else:
+                chunks.append(zero_page)
+            if content is None:
+                total_latency += dram_cost
+            else:
+                total_latency += read_cost
+        self.metrics.flash_pages_read += npages
+        self._complete_op(
+            HostOpType.READ, lba, npages, total_latency, content=None, stream_id=stream_id
+        )
+        self.metrics.host_reads += 1
+        self.metrics.host_pages_read += npages
+        return b"".join(chunks)
+
+    def write_batch(self, lba: int, data: DataLike, stream_id: int = 0) -> HostOp:
+        """Vectorized form of :meth:`write` for a contiguous LBA run."""
+        contents = self._to_page_contents(data)
+        self._check_range(lba, len(contents))
+        metrics = self.metrics
+        clock = self.clock
+        admit = self.write_buffer.admit
+        latency = self.latency
+        buffer_hit_cost = latency.controller_us + latency.dram_access_us
+        transfer = latency.transfer_us
+        program_cost = latency.program_page_us(self.page_size)
+        needs_gc = self.ftl.needs_gc
+        total_latency = self.op_overhead_us[HostOpType.WRITE]
+
+        def gc_check() -> None:
+            # Same per-page guard as the per-op path: a large run can
+            # span several erase blocks, so the free pool is kept above
+            # the GC threshold page by page.
+            if needs_gc():
+                self._run_gc(force=False)
+
+        def on_page(content: PageContent) -> None:
+            nonlocal total_latency
+            metrics.flash_pages_programmed += 1
+            if admit(clock.now_us):
+                total_latency += buffer_hit_cost + transfer(content.length)
+            else:
+                total_latency += program_cost
+
+        self.ftl.write_run(lba, contents, gc_check=gc_check, on_page=on_page)
+        metrics.host_writes += 1
+        metrics.host_pages_written += len(contents)
+        op = self._complete_op(
+            HostOpType.WRITE,
+            lba,
+            len(contents),
+            total_latency,
+            content=contents[0],
+            stream_id=stream_id,
+        )
+        self._maybe_collect()
+        return op
+
+    def trim_range(self, lba: int, npages: int = 1, stream_id: int = 0) -> List[StalePage]:
+        """Vectorized form of :meth:`trim` for a contiguous LBA run."""
+        self._check_range(lba, npages)
+        records = self.ftl.trim_run(lba, npages)
+        dram_cost = self.latency.dram_access_us
+        total_latency = self.op_overhead_us[HostOpType.TRIM] + self.latency.controller_us
+        for _ in range(npages):
+            total_latency += dram_cost
+        self.metrics.host_trims += 1
+        self.metrics.host_pages_trimmed += npages
+        self._complete_op(
+            HostOpType.TRIM, lba, npages, total_latency, content=None, stream_id=stream_id
+        )
+        if self.eager_trim_gc and records:
+            self._run_gc(force=True)
+        else:
+            self._maybe_collect()
+        return records
+
     def flush(self, stream_id: int = 0) -> int:
         """Flush the DRAM write buffer.  Returns the number of pages destaged."""
         destaged = self.write_buffer.flush(self.clock.now_us)

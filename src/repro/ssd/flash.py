@@ -162,6 +162,10 @@ class FlashBlock:
     next_program_offset: int = 0
     valid_count: int = 0
     invalid_count: int = 0
+    #: Timestamp of the newest program since the last erase.  Programs
+    #: happen in order under a monotonic clock, so this equals the max
+    #: over all pages -- kept incrementally for GC age scoring.
+    last_program_timestamp_us: int = 0
 
     @property
     def size(self) -> int:
@@ -218,6 +222,13 @@ class FlashArray:
                 for offset in range(geometry.pages_per_block)
             ]
             self._blocks.append(FlashBlock(block_index=block_index, pages=pages))
+        # Incremental wear statistics: erase counts only change in
+        # erase(), so the histogram keeps min/max/total O(1) -- the wear
+        # leveler consults the spread on every host command.
+        self._total_erases = 0
+        self._erase_histogram: Dict[int, int] = {0: len(self._blocks)}
+        self._min_erase = 0
+        self._max_erase = 0
 
     # -- addressing -------------------------------------------------------
 
@@ -249,9 +260,23 @@ class FlashArray:
         Returns the physical page number that was programmed.  Raises
         :class:`FlashStateError` if the block is full.
         """
-        block = self.block(block_index)
+        return self.program_into(self.block(block_index), content, lpn, timestamp_us)
+
+    def program_into(
+        self,
+        block: FlashBlock,
+        content: PageContent,
+        lpn: Optional[int],
+        timestamp_us: int,
+    ) -> int:
+        """Program the next free page of an already-resolved ``block``.
+
+        Same NAND state machine as :meth:`program`; the batched write
+        path caches the open block across a run instead of re-resolving
+        it per page.
+        """
         if block.is_full:
-            raise FlashStateError(f"block {block_index} has no free pages")
+            raise FlashStateError(f"block {block.block_index} has no free pages")
         page = block.pages[block.next_program_offset]
         if page.state is not PageState.FREE:
             raise FlashStateError(
@@ -263,6 +288,8 @@ class FlashArray:
         page.program_timestamp_us = timestamp_us
         block.next_program_offset += 1
         block.valid_count += 1
+        if timestamp_us > block.last_program_timestamp_us:
+            block.last_program_timestamp_us = timestamp_us
         return page.ppn
 
     def read(self, ppn: int) -> PageContent:
@@ -274,13 +301,15 @@ class FlashArray:
 
     def invalidate(self, ppn: int) -> FlashPage:
         """Mark a valid page invalid (its data remains readable until erase)."""
-        page = self.page(ppn)
+        self.geometry.check_ppn(ppn)
+        pages_per_block = self.geometry.pages_per_block
+        block = self._blocks[ppn // pages_per_block]
+        page = block.pages[ppn % pages_per_block]
         if page.state is not PageState.VALID:
             raise FlashStateError(
                 f"page {ppn} is {page.state.value}, expected valid"
             )
         page.state = PageState.INVALID
-        block = self._blocks[self.geometry.ppn_to_block(ppn)]
         block.valid_count -= 1
         block.invalid_count += 1
         return page
@@ -295,24 +324,64 @@ class FlashArray:
         for page in block.pages:
             page.reset()
         block.next_program_offset = 0
-        block.erase_count += 1
+        previous = block.erase_count
+        block.erase_count = previous + 1
         block.valid_count = 0
         block.invalid_count = 0
+        block.last_program_timestamp_us = 0
+        self._total_erases += 1
+        histogram = self._erase_histogram
+        histogram[previous] -= 1
+        if histogram[previous] == 0:
+            del histogram[previous]
+        histogram[previous + 1] = histogram.get(previous + 1, 0) + 1
+        if previous + 1 > self._max_erase:
+            self._max_erase = previous + 1
+        while self._min_erase not in histogram:
+            self._min_erase += 1
         return block
+
+    def set_erase_count(self, block_index: int, erase_count: int) -> None:
+        """Force a block's erase count (tests / wear-injection only).
+
+        Keeps the incremental wear histogram consistent; mutating
+        ``block.erase_count`` directly would leave the O(1) statistics
+        stale.  A :class:`~repro.ssd.ftl.BlockAllocator` holding the
+        block in its free pool re-keys it lazily on the next
+        allocation, so injected wear steers allocation order as it did
+        with the old live scan.
+        """
+        if erase_count < 0:
+            raise ValueError("erase_count must be non-negative")
+        block = self.block(block_index)
+        histogram = self._erase_histogram
+        previous = block.erase_count
+        self._total_erases += erase_count - previous
+        histogram[previous] -= 1
+        if histogram[previous] == 0:
+            del histogram[previous]
+        histogram[erase_count] = histogram.get(erase_count, 0) + 1
+        block.erase_count = erase_count
+        self._max_erase = max(histogram)
+        self._min_erase = min(histogram)
 
     # -- statistics ---------------------------------------------------------
 
     def total_erases(self) -> int:
-        """Sum of erase counts across every block."""
-        return sum(block.erase_count for block in self._blocks)
+        """Sum of erase counts across every block (O(1), kept incrementally)."""
+        return self._total_erases
 
     def max_erase_count(self) -> int:
         """Highest per-block erase count (wear hot spot)."""
-        return max(block.erase_count for block in self._blocks)
+        return self._max_erase
 
     def min_erase_count(self) -> int:
         """Lowest per-block erase count."""
-        return min(block.erase_count for block in self._blocks)
+        return self._min_erase
+
+    @property
+    def block_count(self) -> int:
+        return len(self._blocks)
 
     def state_counts(self) -> Dict[PageState, int]:
         """Count pages in each state across the whole array."""

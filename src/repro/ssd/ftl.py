@@ -18,6 +18,7 @@ ransomware defense in the paper builds on -- is delegated to a
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Protocol
 
@@ -121,21 +122,32 @@ class BlockAllocator:
 
     Free blocks are handed out lowest-erase-count first so wear spreads
     across the array; this is the "dynamic wear leveling" the device
-    statistics report on.  The last ``gc_reserve_blocks`` blocks are
-    reserved for garbage collection so relocation always has somewhere
-    to copy pages even when host writes have exhausted the pool.
+    statistics report on.  The pool is a heap keyed by (erase count,
+    block index), making every allocation O(log n) instead of a scan.
+    During normal operation a block's erase count only changes before
+    it is released back, so entries are keyed correctly; entries whose
+    count was changed externally (wear injection via
+    ``FlashArray.set_erase_count``) are detected against the live count
+    on pop and lazily re-keyed, so allocation order always follows the
+    true counts.  The last ``gc_reserve_blocks`` blocks are reserved
+    for garbage collection so relocation always has somewhere to copy
+    pages even when host writes have exhausted the pool.
     """
 
     def __init__(self, flash: FlashArray, gc_reserve_blocks: int = 2) -> None:
         if gc_reserve_blocks < 0:
             raise ValueError("gc_reserve_blocks must be non-negative")
         self._flash = flash
-        self._free: List[int] = [block.block_index for block in flash.iter_blocks()]
+        self._heap: List[tuple] = [
+            (block.erase_count, block.block_index) for block in flash.iter_blocks()
+        ]
+        heapq.heapify(self._heap)
+        self._free_set = {block.block_index for block in flash.iter_blocks()}
         self.gc_reserve_blocks = gc_reserve_blocks
 
     @property
     def free_blocks(self) -> int:
-        return len(self._free)
+        return len(self._heap)
 
     def allocate(self, for_gc: bool = False) -> int:
         """Pop the free block with the lowest erase count.
@@ -143,30 +155,38 @@ class BlockAllocator:
         Host allocations (``for_gc=False``) may not dig into the GC
         reserve; GC relocation allocations may.
         """
-        available = len(self._free) if for_gc else len(self._free) - self.gc_reserve_blocks
+        available = len(self._heap) if for_gc else len(self._heap) - self.gc_reserve_blocks
         if available <= 0:
             raise CapacityExhaustedError(
                 "no free blocks available"
                 + ("" if for_gc else " outside the GC reserve")
             )
-        best_position = min(
-            range(len(self._free)),
-            key=lambda position: (
-                self._flash.block(self._free[position]).erase_count,
-                self._free[position],
-            ),
-        )
-        return self._free.pop(best_position)
+        while True:
+            erase_count, block_index = heapq.heappop(self._heap)
+            live_count = self._flash.block(block_index).erase_count
+            if live_count != erase_count:
+                # Externally mutated while free: re-key and try again.
+                heapq.heappush(self._heap, (live_count, block_index))
+                continue
+            self._free_set.discard(block_index)
+            return block_index
 
     def release(self, block_index: int) -> None:
         """Return an erased block to the free pool."""
-        if block_index in self._free:
+        if block_index in self._free_set:
             raise ValueError(f"block {block_index} is already free")
-        self._free.append(block_index)
+        heapq.heappush(
+            self._heap, (self._flash.block(block_index).erase_count, block_index)
+        )
+        self._free_set.add(block_index)
+
+    def is_free(self, block_index: int) -> bool:
+        """Whether ``block_index`` currently sits in the free pool."""
+        return block_index in self._free_set
 
     def peek_free(self) -> List[int]:
         """Snapshot of the free pool (for tests and wear statistics)."""
-        return list(self._free)
+        return [block_index for _, block_index in self._heap]
 
 
 @dataclass
@@ -209,6 +229,13 @@ class FTL:
         self.stats = FTLStats()
         self._mapping: Dict[int, PageMetadata] = {}
         self._stale: Dict[int, StalePage] = {}  # keyed by current ppn
+        # Same records, bucketed by erase block, so GC victim accounting
+        # only visits a block's own stale records instead of re-walking
+        # every page of every candidate block each pass.
+        self._stale_by_block: Dict[int, Dict[int, StalePage]] = {}
+        # Blocks currently holding at least one invalid page (cleared on
+        # erase), so GC candidate enumeration skips untouched blocks.
+        self._invalid_blocks: set = set()
         self._version_counter: Dict[int, int] = {}
         self._host_block: Optional[int] = None
         self._gc_block: Optional[int] = None
@@ -299,6 +326,96 @@ class FTL:
             return None
         return self._invalidate_physical(previous, InvalidationCause.TRIM)
 
+    # -- vectorized host operations ------------------------------------------
+
+    def write_run(
+        self,
+        start_lpn: int,
+        contents: List[PageContent],
+        gc_check=None,
+        on_page=None,
+    ) -> List[PageMetadata]:
+        """Write a run of consecutive logical pages with batched bookkeeping.
+
+        Performs exactly the state transitions of calling :meth:`write`
+        once per page, in page order, with per-page dispatch and bounds
+        checks hoisted out of the loop.  ``gc_check`` is invoked before
+        each page (mirroring the device's per-page GC guard) and
+        ``on_page`` after it (the device hooks latency/metrics
+        accounting there), so interleaving matches the per-op path and
+        batched writes stay bit-identical to it.
+        """
+        npages = len(contents)
+        if npages == 0:
+            raise ValueError("cannot write an empty run of pages")
+        self._check_lpn(start_lpn)
+        self._check_lpn(start_lpn + npages - 1)
+        mapping = self._mapping
+        versions = self._version_counter
+        clock = self.clock
+        invalidate = self._invalidate_physical
+        flash = self.flash
+        program_into = flash.program_into
+        # The open host block stays valid across the whole run: GC never
+        # victimises or closes an open block, so it only needs
+        # re-resolving when it fills up.  The clock only moves while GC
+        # runs, so the cached timestamp is refreshed after each check.
+        block = flash.block(self._host_block) if self._host_block is not None else None
+        now_us = clock.now_us
+        metas: List[PageMetadata] = []
+        lpn = start_lpn
+        for content in contents:
+            if gc_check is not None:
+                gc_check()
+                now_us = clock.now_us
+            previous = mapping.get(lpn)
+            if block is None or block.is_full:
+                block = flash.block(self._open_block("host"))
+            ppn = program_into(block, content, lpn, now_us)
+            version = versions.get(lpn, 0) + 1
+            versions[lpn] = version
+            meta = PageMetadata(
+                lpn=lpn, ppn=ppn, written_us=now_us, version=version
+            )
+            mapping[lpn] = meta
+            if previous is not None:
+                invalidate(previous, InvalidationCause.OVERWRITE)
+            metas.append(meta)
+            if on_page is not None:
+                on_page(content)
+            lpn += 1
+        return metas
+
+    def read_run(self, start_lpn: int, npages: int) -> List[Optional[PageContent]]:
+        """Read a run of consecutive logical pages (``None`` for unmapped)."""
+        self._check_lpn(start_lpn)
+        if npages > 0:
+            self._check_lpn(start_lpn + npages - 1)
+        mapping = self._mapping
+        flash_read = self.flash.read
+        return [
+            flash_read(meta.ppn) if (meta := mapping.get(lpn)) is not None else None
+            for lpn in range(start_lpn, start_lpn + npages)
+        ]
+
+    def trim_run(self, start_lpn: int, npages: int) -> List[StalePage]:
+        """Trim a run of consecutive logical pages with batched bookkeeping.
+
+        Equivalent to calling :meth:`trim` once per page in order;
+        returns the stale records of the pages that were mapped.
+        """
+        self._check_lpn(start_lpn)
+        if npages > 0:
+            self._check_lpn(start_lpn + npages - 1)
+        pop = self._mapping.pop
+        invalidate = self._invalidate_physical
+        records: List[StalePage] = []
+        for lpn in range(start_lpn, start_lpn + npages):
+            previous = pop(lpn, None)
+            if previous is not None:
+                records.append(invalidate(previous, InvalidationCause.TRIM))
+        return records
+
     # -- internals -----------------------------------------------------------
 
     def _next_version(self, lpn: int) -> int:
@@ -320,6 +437,9 @@ class FTL:
             version=meta.version,
         )
         self._stale[meta.ppn] = record
+        block_index = meta.ppn // self.geometry.pages_per_block
+        self._stale_by_block.setdefault(block_index, {})[meta.ppn] = record
+        self._invalid_blocks.add(block_index)
         self.stats.stale_pages_created += 1
         self.retention_policy.on_invalidate(record)
         return record
@@ -358,17 +478,34 @@ class FTL:
     def closed_blocks(self) -> List[FlashBlock]:
         """Blocks eligible as GC victims (full, not currently open)."""
         open_blocks = {self._host_block, self._gc_block}
-        free_blocks = set(self.allocator.peek_free())
+        is_free = self.allocator.is_free
         victims = []
         for block in self.flash.iter_blocks():
             if block.block_index in open_blocks:
                 continue
             if block.is_erased:
                 continue
-            if block.block_index in free_blocks:
+            if is_free(block.block_index):
                 continue
             victims.append(block)
         return victims
+
+    def reclaimable_blocks(self) -> List[FlashBlock]:
+        """Closed blocks holding at least one invalid page (GC candidates).
+
+        Enumerated from the incrementally maintained invalid-block set,
+        so the cost scales with the number of dirtied blocks instead of
+        the whole array.  Blocks in the set are never free or erased
+        (erase clears their membership), so only the open blocks need
+        filtering out.
+        """
+        open_blocks = (self._host_block, self._gc_block)
+        flash_block = self.flash.block
+        return [
+            flash_block(block_index)
+            for block_index in self._invalid_blocks
+            if block_index not in open_blocks
+        ]
 
     def stale_record_at(self, ppn: int) -> Optional[StalePage]:
         """The stale record currently stored at physical page ``ppn``."""
@@ -385,6 +522,7 @@ class FTL:
         if meta is not None and meta.ppn == ppn:
             meta.ppn = new_ppn
         self.flash.invalidate(ppn)
+        self._invalid_blocks.add(ppn // self.geometry.pages_per_block)
         return new_ppn
 
     def relocate_stale_page(self, record: StalePage) -> int:
@@ -397,9 +535,13 @@ class FTL:
         new_ppn = self.program_relocation_page(record.content, record.lpn)
         self.flash.invalidate(new_ppn)
         del self._stale[record.ppn]
+        self._unindex_stale(record.ppn)
         record.ppn = new_ppn
         record.relocations += 1
         self._stale[new_ppn] = record
+        new_block = new_ppn // self.geometry.pages_per_block
+        self._stale_by_block.setdefault(new_block, {})[new_ppn] = record
+        self._invalid_blocks.add(new_block)
         self.stats.stale_pages_relocated += 1
         self.retention_policy.on_relocate(record, new_ppn)
         return new_ppn
@@ -408,6 +550,7 @@ class FTL:
         """Allow a stale page's data to be destroyed by the upcoming erase."""
         record.released = True
         self._stale.pop(record.ppn, None)
+        self._unindex_stale(record.ppn)
         self.stats.stale_pages_released += 1
         self.retention_policy.on_release(record)
 
@@ -420,10 +563,26 @@ class FTL:
         invalid and will be reclaimed by GC as releasable space.
         """
         self._stale.pop(record.ppn, None)
+        self._unindex_stale(record.ppn)
+
+    def _unindex_stale(self, ppn: int) -> None:
+        """Drop ``ppn`` from the per-block stale index."""
+        block_index = ppn // self.geometry.pages_per_block
+        bucket = self._stale_by_block.get(block_index)
+        if bucket is not None:
+            bucket.pop(ppn, None)
+            if not bucket:
+                del self._stale_by_block[block_index]
+
+    def stale_records_in_block(self, block_index: int) -> List[StalePage]:
+        """Stale records whose current physical page lives in ``block_index``."""
+        bucket = self._stale_by_block.get(block_index)
+        return list(bucket.values()) if bucket else []
 
     def finish_block_erase(self, block: FlashBlock) -> None:
         """Erase ``block`` and return it to the free pool."""
         self.flash.erase(block.block_index)
+        self._invalid_blocks.discard(block.block_index)
         self.allocator.release(block.block_index)
 
     def signal_reclaim_pressure(self, needed_pages: int) -> int:

@@ -71,19 +71,29 @@ class GarbageCollector:
         raise NotImplementedError
 
     def _block_accounting(self, ftl: FTL, block: FlashBlock) -> Tuple[int, int, int]:
-        """Return (releasable, must_preserve, valid) page counts for a block."""
-        releasable = 0
+        """Return (releasable, must_preserve, valid) page counts for a block.
+
+        Valid/invalid totals come from the block's incrementally
+        maintained counters and stale records from the FTL's per-block
+        index, so the cost is proportional to the block's *retained*
+        pages rather than its size.  Invalid pages without a record
+        (already released or dropped) are releasable by definition.
+        """
+        valid = block.valid_count
+        records = ftl.stale_records_in_block(block.block_index)
+        releasable = block.invalid_count - len(records)
+        policy = ftl.retention_policy
+        count_releasable = getattr(policy, "count_releasable", None)
+        if count_releasable is not None:
+            released = count_releasable(records)
+            return releasable + released, len(records) - released, valid
         must_preserve = 0
-        valid = 0
-        for page in block.pages:
-            if page.state is PageState.VALID:
-                valid += 1
-            elif page.state is PageState.INVALID:
-                record = ftl.stale_record_at(page.ppn)
-                if record is None or ftl.retention_policy.may_release(record):
-                    releasable += 1
-                else:
-                    must_preserve += 1
+        may_release = policy.may_release
+        for record in records:
+            if may_release(record):
+                releasable += 1
+            else:
+                must_preserve += 1
         return releasable, must_preserve, valid
 
     def select_victim(self, ftl: FTL) -> Optional[FlashBlock]:
@@ -96,10 +106,10 @@ class GarbageCollector:
         scan falls back to the full candidate list so retention-heavy
         devices still find the odd releasable page.
         """
-        candidates = [
-            block for block in ftl.closed_blocks() if block.invalid_pages > 0
-        ]
-        candidates.sort(key=lambda block: block.invalid_pages, reverse=True)
+        candidates = ftl.reclaimable_blocks()
+        # Ties break toward the lowest block index, matching the old
+        # full-array walk so victim choice stays deterministic.
+        candidates.sort(key=lambda block: (-block.invalid_pages, block.block_index))
         for scan in (candidates[: self.victim_scan_width], candidates[self.victim_scan_width :]):
             best: Optional[FlashBlock] = None
             best_score = 0.0
@@ -191,8 +201,16 @@ class CostBenefitGC(GarbageCollector):
     that must be copied out.
     """
 
-    def __init__(self, max_blocks_per_pass: int = 8, age_weight: float = 1.0) -> None:
-        super().__init__(max_blocks_per_pass=max_blocks_per_pass)
+    def __init__(
+        self,
+        max_blocks_per_pass: int = 8,
+        victim_scan_width: int = 8,
+        age_weight: float = 1.0,
+    ) -> None:
+        super().__init__(
+            max_blocks_per_pass=max_blocks_per_pass,
+            victim_scan_width=victim_scan_width,
+        )
         if age_weight < 0:
             raise ValueError("age_weight must be non-negative")
         self.age_weight = age_weight
@@ -202,10 +220,7 @@ class CostBenefitGC(GarbageCollector):
         size = float(block.size)
         benefit = releasable / size
         cost = (valid + must_preserve) / size
-        newest_program = max(
-            (page.program_timestamp_us for page in block.iter_pages()), default=0
-        )
-        age_us = max(0, ftl.clock.now_us - newest_program)
+        age_us = max(0, ftl.clock.now_us - block.last_program_timestamp_us)
         age_factor = 1.0 + self.age_weight * (age_us / 1_000_000.0)
         if cost >= 1.0:
             return 0.0

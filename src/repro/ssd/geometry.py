@@ -7,7 +7,7 @@ page counts; the FTL and GC never deal with raw byte offsets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True)
@@ -38,6 +38,17 @@ class SSDGeometry:
     page_size: int = 4096
     overprovision_ratio: float = 0.125
 
+    # Derived sizes, precomputed once at construction: the FTL and flash
+    # array consult them on every page program/invalidate, so they must
+    # be plain attribute loads rather than recomputed products.
+    total_chips: int = field(init=False, repr=False, compare=False)
+    total_blocks: int = field(init=False, repr=False, compare=False)
+    total_pages: int = field(init=False, repr=False, compare=False)
+    raw_capacity_bytes: int = field(init=False, repr=False, compare=False)
+    exported_pages: int = field(init=False, repr=False, compare=False)
+    exported_capacity_bytes: int = field(init=False, repr=False, compare=False)
+    block_size_bytes: int = field(init=False, repr=False, compare=False)
+
     def __post_init__(self) -> None:
         if min(
             self.channels,
@@ -49,41 +60,20 @@ class SSDGeometry:
             raise ValueError("all geometry dimensions must be positive")
         if not 0.0 <= self.overprovision_ratio < 1.0:
             raise ValueError("overprovision_ratio must be in [0, 1)")
-
-    @property
-    def total_chips(self) -> int:
-        """Total number of NAND dies in the array."""
-        return self.channels * self.chips_per_channel
-
-    @property
-    def total_blocks(self) -> int:
-        """Total erase blocks in the array."""
-        return self.total_chips * self.blocks_per_chip
-
-    @property
-    def total_pages(self) -> int:
-        """Total physical flash pages in the array."""
-        return self.total_blocks * self.pages_per_block
-
-    @property
-    def raw_capacity_bytes(self) -> int:
-        """Raw capacity of the flash array in bytes."""
-        return self.total_pages * self.page_size
-
-    @property
-    def exported_pages(self) -> int:
-        """Logical pages exposed to the host (raw minus over-provisioning)."""
-        return int(self.total_pages * (1.0 - self.overprovision_ratio))
-
-    @property
-    def exported_capacity_bytes(self) -> int:
-        """Host-visible capacity in bytes."""
-        return self.exported_pages * self.page_size
-
-    @property
-    def block_size_bytes(self) -> int:
-        """Bytes per erase block."""
-        return self.pages_per_block * self.page_size
+        set_attr = object.__setattr__  # frozen dataclass
+        set_attr(self, "total_chips", self.channels * self.chips_per_channel)
+        set_attr(self, "total_blocks", self.total_chips * self.blocks_per_chip)
+        set_attr(self, "total_pages", self.total_blocks * self.pages_per_block)
+        set_attr(self, "raw_capacity_bytes", self.total_pages * self.page_size)
+        set_attr(
+            self,
+            "exported_pages",
+            int(self.total_pages * (1.0 - self.overprovision_ratio)),
+        )
+        set_attr(
+            self, "exported_capacity_bytes", self.exported_pages * self.page_size
+        )
+        set_attr(self, "block_size_bytes", self.pages_per_block * self.page_size)
 
     def ppn_to_block(self, ppn: int) -> int:
         """Map a physical page number to its erase-block index."""

@@ -38,14 +38,18 @@ class WearStats:
 
 
 def compute_wear_stats(flash: FlashArray) -> WearStats:
-    """Collect wear statistics for the whole array."""
-    counts: List[int] = [block.erase_count for block in flash.iter_blocks()]
-    total = sum(counts)
+    """Collect wear statistics for the whole array.
+
+    Reads the array's incrementally maintained counters, so it is cheap
+    enough to consult on every host command.
+    """
+    total = flash.total_erases()
+    blocks = flash.block_count
     return WearStats(
         total_erases=total,
-        mean_erases=total / len(counts) if counts else 0.0,
-        min_erases=min(counts) if counts else 0,
-        max_erases=max(counts) if counts else 0,
+        mean_erases=total / blocks if blocks else 0.0,
+        min_erases=flash.min_erase_count(),
+        max_erases=flash.max_erase_count(),
     )
 
 
@@ -68,7 +72,7 @@ class StaticWearLeveler:
 
     def should_run(self, flash: FlashArray) -> bool:
         """True when the wear spread exceeds the configured threshold."""
-        return compute_wear_stats(flash).spread >= self.threshold
+        return flash.max_erase_count() - flash.min_erase_count() >= self.threshold
 
     def run(self, ftl: FTL) -> int:
         """Migrate valid pages out of the coldest blocks.  Returns pages moved."""

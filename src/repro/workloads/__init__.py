@@ -14,15 +14,26 @@ reproduce per volume.
 * :mod:`repro.workloads.msr` -- MSR-Cambridge volume profiles.
 * :mod:`repro.workloads.fiu` -- FIU volume profiles.
 * :mod:`repro.workloads.fio` -- fio-like benchmark job specifications.
-* :mod:`repro.workloads.replay` -- replay a trace against any device.
+* :mod:`repro.workloads.replay` -- replay a trace against any device
+  (per-op, or batched/coalescing for high-throughput replay).
+* :mod:`repro.workloads.fleet` -- replay traces against a fleet of
+  devices (RSSD + baselines) and compare them.
 """
 
 from repro.workloads.fio import FioJob, standard_jobs
 from repro.workloads.fiu import FIU_VOLUMES, fiu_profile
+from repro.workloads.fleet import (
+    FleetDeviceReport,
+    FleetReport,
+    FleetRunner,
+    default_fleet_factories,
+    shard_trace,
+)
 from repro.workloads.msr import MSR_VOLUMES, msr_profile
 from repro.workloads.records import TraceRecord, TraceStats, collect_stats
-from repro.workloads.replay import ReplayResult, TraceReplayer
+from repro.workloads.replay import BatchTraceReplayer, ReplayResult, TraceReplayer
 from repro.workloads.synthetic import (
+    BurstyWorkload,
     MixedWorkload,
     SequentialWorkload,
     UniformRandomWorkload,
@@ -32,8 +43,13 @@ from repro.workloads.synthetic import (
 )
 
 __all__ = [
+    "BatchTraceReplayer",
+    "BurstyWorkload",
     "FIU_VOLUMES",
     "FioJob",
+    "FleetDeviceReport",
+    "FleetReport",
+    "FleetRunner",
     "MSR_VOLUMES",
     "MixedWorkload",
     "ReplayResult",
@@ -45,8 +61,10 @@ __all__ = [
     "VolumeProfile",
     "ZipfianWorkload",
     "collect_stats",
+    "default_fleet_factories",
     "fiu_profile",
     "msr_profile",
     "profile_workload",
+    "shard_trace",
     "standard_jobs",
 ]

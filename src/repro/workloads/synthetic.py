@@ -240,6 +240,115 @@ class ZipfianWorkload(_BaseWorkload):
         return min(lba, max(0, self.capacity_pages - npages))
 
 
+class BurstyWorkload:
+    """Burst-structured traffic: runs of contiguous same-type requests.
+
+    Real block traces arrive in phases -- a bulk ingest streams
+    thousands of sequential writes, a scan issues a long run of
+    sequential reads, a cleanup discards a contiguous extent.  This
+    generator emits that shape directly: each burst picks an operation
+    type, a length, and a starting point, then issues contiguous
+    single-request records.  It is the canonical input for the batched
+    replay path (contiguous same-op runs are exactly what command
+    coalescing merges) and for the fleet runner's ingest scenarios.
+    """
+
+    def __init__(
+        self,
+        capacity_pages: int,
+        write_fraction: float = 0.5,
+        read_fraction: float = 0.4,
+        burst_records: tuple = (64, 256),
+        request_pages: int = 1,
+        entropy: float = 6.5,
+        compress_ratio: float = 0.9,
+        interarrival_us: tuple = (5, 40),
+        span_fraction: float = 0.9,
+        stream_id: int = 0,
+        seed: int = 1,
+    ) -> None:
+        if capacity_pages < 1:
+            raise ValueError("capacity_pages must be at least 1")
+        if not 0.0 <= write_fraction + read_fraction <= 1.0:
+            raise ValueError("write_fraction + read_fraction must be within [0, 1]")
+        if burst_records[0] < 1 or burst_records[1] < burst_records[0]:
+            raise ValueError("burst_records must be a (lo, hi) pair with 1 <= lo <= hi")
+        if not 0.0 < span_fraction <= 1.0:
+            raise ValueError("span_fraction must be within (0, 1]")
+        self.capacity_pages = capacity_pages
+        self.write_fraction = write_fraction
+        self.read_fraction = read_fraction
+        self.burst_records = burst_records
+        self.request_pages = max(1, request_pages)
+        self.entropy = entropy
+        self.compress_ratio = compress_ratio
+        self.interarrival_us = interarrival_us
+        self.span = max(1, int(capacity_pages * span_fraction))
+        self.stream_id = stream_id
+        self.rng = random.Random(seed)
+
+    def generate(self, n_records: int, start_us: int = 0) -> List[TraceRecord]:
+        """Generate exactly ``n_records`` burst-structured records."""
+        if n_records < 1:
+            raise ValueError("n_records must be at least 1")
+        rng = self.rng
+        records: List[TraceRecord] = []
+        timestamp = start_us
+        cursor = 0
+        lo, hi = self.burst_records
+        gap_lo, gap_hi = self.interarrival_us
+        span = self.span
+        npages = self.request_pages
+        while len(records) < n_records:
+            roll = rng.random()
+            burst = rng.randint(lo, hi)
+            if roll < self.write_fraction:
+                # Sequential ingest burst at the write frontier.
+                for _ in range(burst):
+                    timestamp += rng.randint(gap_lo, gap_hi)
+                    records.append(
+                        TraceRecord(
+                            timestamp_us=timestamp,
+                            op=TraceOp.WRITE,
+                            lba=cursor % span,
+                            npages=npages,
+                            stream_id=self.stream_id,
+                            entropy=self.entropy,
+                            compress_ratio=self.compress_ratio,
+                        )
+                    )
+                    cursor += npages
+            elif roll < self.write_fraction + self.read_fraction:
+                # Sequential scan over previously written data.
+                start = rng.randrange(max(1, cursor)) % span if cursor else 0
+                for offset in range(burst):
+                    timestamp += rng.randint(gap_lo, gap_hi)
+                    records.append(
+                        TraceRecord(
+                            timestamp_us=timestamp,
+                            op=TraceOp.READ,
+                            lba=(start + offset * npages) % span,
+                            npages=npages,
+                            stream_id=self.stream_id,
+                        )
+                    )
+            else:
+                # Discard of a cold contiguous extent behind the frontier.
+                start = max(0, (cursor % span) - rng.randint(4 * burst, 8 * burst))
+                for offset in range(burst // 2 + 1):
+                    timestamp += rng.randint(gap_lo, gap_hi)
+                    records.append(
+                        TraceRecord(
+                            timestamp_us=timestamp,
+                            op=TraceOp.TRIM,
+                            lba=(start + offset * npages) % span,
+                            npages=npages,
+                            stream_id=self.stream_id,
+                        )
+                    )
+        return records[:n_records]
+
+
 class MixedWorkload:
     """Interleaves several generators into one time-ordered trace."""
 

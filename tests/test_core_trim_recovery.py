@@ -59,6 +59,59 @@ class TestEnhancedTrim:
         assert rssd.trim_handler.stats.trim_commands == 2
         assert rssd.trim_handler.stats.pages_trimmed == 3
 
+    def test_single_page_trims_charge_remap_cost(self, loaded_rssd):
+        """Regression: int(0.6 * 1) truncated the remap cost to 0 us.
+
+        The fractional firmware cost must accumulate across commands
+        instead of being truncated away on every single-page trim.
+        """
+        rssd = loaded_rssd
+        handler = rssd.trim_handler
+        assert handler._remap_cost_accum_us == 0.0
+        rssd.trim(0, 1)
+        # 0.6us accumulated, below one whole microsecond.
+        assert handler._remap_cost_accum_us == pytest.approx(0.6)
+        rssd.trim(1, 1)
+        # 1.2us accumulated: 1us charged to the clock, 0.2us retained.
+        assert handler._remap_cost_accum_us == pytest.approx(0.2)
+
+    def test_remap_cost_accumulates_fractions(self, loaded_rssd):
+        handler = loaded_rssd.trim_handler
+        clock = loaded_rssd.clock
+        start = clock.now_us
+        for _ in range(50):
+            handler._charge_remap_cost(1)
+        charged = clock.now_us - start
+        # 50 x 0.6us = 30us of firmware cost: whole microseconds land on
+        # the clock, the (sub-us) remainder stays in the accumulator.
+        assert charged + handler._remap_cost_accum_us == pytest.approx(30.0)
+        assert charged >= 29
+
+    def test_unmapped_pages_tracked_separately(self, loaded_rssd):
+        """Regression: pages_trimmed used to count LBAs with no mapping."""
+        rssd = loaded_rssd
+        stats = rssd.trim_handler.stats
+        rssd.trim(0, 2)          # both mapped
+        rssd.trim(0, 2)          # both now unmapped
+        rssd.trim(4, 4)          # all mapped
+        assert stats.pages_trimmed == 6
+        assert stats.pages_unmapped == 2
+        assert stats.pages_retained == 6
+
+    def test_trim_range_equivalent_to_trim(self):
+        from repro.core.config import RSSDConfig as Config
+
+        per_op = RSSD(config=Config.tiny())
+        batched = RSSD(config=Config.tiny())
+        for device in (per_op, batched):
+            for lba in range(12):
+                device.write(lba, b"payload %02d" % lba)
+        records_a = per_op.trim(3, 6)
+        records_b = batched.trim_range(3, 6)
+        assert [r.lpn for r in records_a] == [r.lpn for r in records_b]
+        assert per_op.trim_handler.stats == batched.trim_handler.stats
+        assert per_op.clock.now_us == batched.clock.now_us
+
 
 class TestRecoveryEngine:
     def test_restore_to_reverses_overwrites(self, loaded_rssd):

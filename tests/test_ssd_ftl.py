@@ -166,6 +166,13 @@ class TestBlockAllocator:
         first = allocator.allocate()
         assert first != 0
 
+    def test_wear_injected_after_construction_steers_allocation(self):
+        """Heap entries are lazily re-keyed against live erase counts."""
+        flash = FlashArray(SSDGeometry.tiny())
+        allocator = BlockAllocator(flash, gc_reserve_blocks=0)
+        flash.set_erase_count(0, 60)
+        assert allocator.allocate() != 0
+
     def test_release_returns_block_to_pool(self):
         flash = FlashArray(SSDGeometry.tiny())
         allocator = BlockAllocator(flash, gc_reserve_blocks=0)

@@ -118,3 +118,43 @@ class TestParameterValidation:
     def test_max_blocks_per_pass_validated(self):
         with pytest.raises(ValueError):
             GreedyGC(max_blocks_per_pass=0)
+
+    def test_both_gc_classes_accept_the_same_knobs(self):
+        """Regression: CostBenefitGC used to drop ``victim_scan_width``."""
+        for gc_class in (GreedyGC, CostBenefitGC):
+            gc = gc_class(max_blocks_per_pass=3, victim_scan_width=2)
+            assert gc.max_blocks_per_pass == 3
+            assert gc.victim_scan_width == 2
+            with pytest.raises(ValueError):
+                gc_class(victim_scan_width=0)
+
+    def test_cost_benefit_narrow_scan_still_collects(self):
+        ftl = build_ftl()
+        fill_with_overwrites(ftl)
+        result = CostBenefitGC(victim_scan_width=1).collect(ftl, force=True)
+        assert result.blocks_erased >= 1
+
+
+class TestBlockAccountingIndex:
+    """The per-block stale index must agree with a full page walk."""
+
+    def test_accounting_matches_page_walk(self):
+        ftl = build_ftl()
+        fill_with_overwrites(ftl, lpns=12, rounds=12)
+        gc = GreedyGC()
+        for block in ftl.reclaimable_blocks():
+            releasable, must_preserve, valid = gc._block_accounting(ftl, block)
+            walk_valid = block.count_state(PageState.VALID)
+            walk_invalid = block.count_state(PageState.INVALID)
+            assert valid == walk_valid
+            assert releasable + must_preserve == walk_invalid
+
+    def test_reclaimable_blocks_tracks_invalidation_and_erase(self):
+        ftl = build_ftl()
+        assert ftl.reclaimable_blocks() == []
+        fill_with_overwrites(ftl, lpns=8, rounds=8)
+        dirty_before = {block.block_index for block in ftl.reclaimable_blocks()}
+        assert dirty_before
+        GreedyGC().collect(ftl, force=True)
+        for block in ftl.reclaimable_blocks():
+            assert block.invalid_pages > 0

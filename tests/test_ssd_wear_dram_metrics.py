@@ -21,7 +21,7 @@ class TestWearStats:
 
     def test_spread_reflects_uneven_wear(self):
         flash = FlashArray(SSDGeometry.tiny())
-        flash.block(0).erase_count = 50
+        flash.set_erase_count(0, 50)
         stats = compute_wear_stats(flash)
         assert stats.max_erases == 50
         assert stats.spread == 50
@@ -49,7 +49,7 @@ class TestStaticWearLeveler:
             ftl.write(lpn, PageContent.synthetic(lpn, 4096))
         # Make the wear spread large so the leveler engages.
         for block_index in range(20, 25):
-            flash.block(block_index).erase_count = 60
+            flash.set_erase_count(block_index, 60)
         leveler = StaticWearLeveler(threshold=20)
         assert leveler.should_run(flash)
         moved = leveler.run(ftl)
