@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence
+
+from repro.sim import format_duration
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.campaign.results import CampaignArtifact
 
 
 def _stringify(value) -> str:
@@ -49,3 +54,66 @@ def format_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
             raise ValueError("CSV cells must not contain commas")
         lines.append(",".join(cells))
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Campaign artifact views
+# ---------------------------------------------------------------------------
+
+
+def render_campaign_capability(artifact: "CampaignArtifact") -> str:
+    """The paper's Table-1-style capability view of a campaign artifact.
+
+    Rows are defenses, columns are attacks.  When a (defense, attack)
+    pair was measured under several workloads or device configs, the
+    cell shows the *worst* recovery fraction -- a defense only counts as
+    covering an attack if it covers it under every scenario swept.
+    """
+    from repro.defenses.matrix import recovery_grade
+
+    defenses: List[str] = []
+    attacks: List[str] = []
+    worst: Dict[tuple, float] = {}
+    for cell in artifact.cells:
+        if cell.defense not in defenses:
+            defenses.append(cell.defense)
+        if cell.attack not in attacks:
+            attacks.append(cell.attack)
+        key = (cell.defense, cell.attack)
+        worst[key] = min(worst.get(key, 1.0), cell.recovery_fraction)
+    rows = []
+    for defense in defenses:
+        row: List[object] = [defense]
+        for attack in attacks:
+            fraction = worst.get((defense, attack))
+            row.append(
+                "-" if fraction is None else f"{recovery_grade(fraction)} {fraction:.2f}"
+            )
+        rows.append(row)
+    return format_table(["Defense", *attacks], rows)
+
+
+def render_campaign_overhead(artifact: "CampaignArtifact") -> str:
+    """Per-cell I/O overhead and provenance table for a campaign artifact."""
+    rows = []
+    for cell in artifact.cells:
+        detection = (
+            format_duration(cell.detection_latency_us)
+            if cell.detection_latency_us is not None
+            else "-"
+        )
+        rows.append(
+            [
+                cell.cell_key,
+                cell.recovery_fraction,
+                detection,
+                cell.write_amplification,
+                cell.mean_write_latency_us,
+                cell.host_commands,
+                cell.oplog_hash[:12] if cell.oplog_hash else "-",
+            ]
+        )
+    return format_table(
+        ["cell", "recovered", "detect in", "WA", "wr us", "host cmds", "oplog"],
+        rows,
+    )

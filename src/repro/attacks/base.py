@@ -20,7 +20,11 @@ class AttackEnvironment:
 
     ``device`` is anything that speaks the SSD block interface (a plain
     :class:`~repro.ssd.device.SSD`, an :class:`~repro.core.rssd.RSSD`,
-    or a baseline defense's device).
+    or a baseline defense's device).  ``rng`` is the environment's
+    explicit random stream: every draw a scenario makes must come from
+    it (or from an attack's own seeded ``rng``), never from the shared
+    module-level ``random`` state, so scenarios stay reproducible when
+    many run in one process or across worker processes.
     """
 
     clock: SimClock
@@ -30,6 +34,7 @@ class AttackEnvironment:
     registry: ProcessRegistry
     user_process: IOProcess
     attacker_process: IOProcess
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
 
     @property
     def attacker_stream(self) -> int:
@@ -45,8 +50,14 @@ def build_environment(
     victim_files: int = 24,
     file_size_bytes: int = 8192,
     seed: int = 23,
+    rng: Optional[random.Random] = None,
 ) -> AttackEnvironment:
-    """Create a victim environment with ``victim_files`` populated documents."""
+    """Create a victim environment with ``victim_files`` populated documents.
+
+    ``seed`` drives both the file contents and (unless an explicit
+    ``rng`` is supplied) the environment's random stream, so a given
+    ``(device, seed)`` pair always produces the same victim.
+    """
     clock: SimClock = device.clock  # type: ignore[attr-defined]
     registry = ProcessRegistry()
     user = registry.spawn("user-workload", privilege=Privilege.USER)
@@ -64,6 +75,7 @@ def build_environment(
         registry=registry,
         user_process=user,
         attacker_process=attacker,
+        rng=rng if rng is not None else random.Random(seed),
     )
 
 
@@ -107,15 +119,36 @@ class RansomwareAttack(ABC):
     name = "ransomware"
     aggressive = True
 
-    def __init__(self, passphrase: str = "pay-or-lose-your-files", seed: int = 97) -> None:
+    def __init__(
+        self,
+        passphrase: str = "pay-or-lose-your-files",
+        seed: Optional[int] = 97,
+    ) -> None:
         self.cipher = StreamCipher.from_passphrase(passphrase)
-        self.rng = random.Random(seed)
+        #: ``seed=None`` defers to the victim environment's explicit rng
+        #: (bound on first use), so campaign cells can seed every stream
+        #: from one place and nothing ever falls back to the module-level
+        #: ``random`` state.
+        self.rng: Optional[random.Random] = (
+            random.Random(seed) if seed is not None else None
+        )
         self._nonce = 0
 
     # -- helpers shared by all attack models ------------------------------------
 
+    def bind_environment_rng(self, env: AttackEnvironment) -> None:
+        """Adopt the environment's rng when constructed with ``seed=None``.
+
+        Called from ``_capture_originals`` (which every attack runs
+        first); attacks that draw randomness outside the shared helpers
+        must call it themselves before the first draw.
+        """
+        if self.rng is None:
+            self.rng = env.rng
+
     def _capture_originals(self, env: AttackEnvironment, outcome: AttackOutcome) -> None:
         """Record pre-attack file contents and per-LBA fingerprints."""
+        self.bind_environment_rng(env)
         for name in env.fs.list_files():
             data = env.fs.read_file(name)
             outcome.original_contents[name] = data

@@ -43,6 +43,9 @@ class GCAttack(RansomwareAttack):
         )
 
     def execute(self, env: AttackEnvironment) -> AttackOutcome:
+        # The capacity flood draws from self.rng without going through
+        # _capture_originals (the inner encryptor does that on itself).
+        self.bind_environment_rng(env)
         # Phase 1: ordinary bulk encryption of the victim files.
         outcome = self._encryptor.execute(env)
         outcome.attack_name = self.name

@@ -1,0 +1,32 @@
+"""Campaign engine: declarative attack x defense x workload sweeps.
+
+A *campaign* is an experiment grid -- defenses x attacks x workload
+generators x device configs -- executed cell by cell through a shared
+:class:`~repro.campaign.runner.ExperimentRunner` (sequential, thread or
+process backend).  Every cell is seeded deterministically from
+``(campaign_seed, cell_key)``, so the same grid and seed produce the
+same :class:`~repro.campaign.results.CellResult` records regardless of
+backend or execution order, and the whole run serializes to a versioned
+JSON artifact that the golden-run regression suite pins bit-for-bit.
+
+The capability matrix (``repro.defenses.matrix``) and the fleet runner
+(``repro.workloads.fleet``) are thin facades over this package.
+"""
+
+from repro.campaign.engine import run_campaign, run_cell
+from repro.campaign.grid import CampaignGrid, CellSpec
+from repro.campaign.results import ARTIFACT_VERSION, CampaignArtifact, CellResult
+from repro.campaign.runner import ExperimentRunner
+from repro.campaign.seeding import derive_seed
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "CampaignArtifact",
+    "CampaignGrid",
+    "CellResult",
+    "CellSpec",
+    "ExperimentRunner",
+    "derive_seed",
+    "run_campaign",
+    "run_cell",
+]

@@ -1,0 +1,205 @@
+"""Shared experiment execution: one scenario, one cell, one campaign.
+
+``execute_scenario`` is the single implementation of the paper's
+evaluation loop -- build a fresh victim environment on a defense's
+device, run the pre-attack workload, let the attacker optionally
+disable host defenses, execute the attack, score recovery and overhead.
+The capability matrix calls it with live factories and its historical
+fixed seeds; ``run_cell`` calls it from a (picklable) :class:`CellSpec`
+with per-cell derived seeds; ``run_campaign`` maps cells through the
+:class:`~repro.campaign.runner.ExperimentRunner`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.attacks.base import AttackEnvironment, AttackOutcome, build_environment
+from repro.campaign import registries
+from repro.campaign.grid import CampaignGrid, CellSpec
+from repro.campaign.results import CampaignArtifact, CellResult
+from repro.campaign.runner import ExperimentRunner
+from repro.campaign.seeding import derive_seed
+from repro.defenses.base import Defense
+from repro.defenses.matrix import DEFENDED_THRESHOLD
+from repro.sim import SimClock
+from repro.ssd.geometry import SSDGeometry
+
+
+@dataclass
+class ScenarioOutcome:
+    """Everything a facade needs to grade one executed scenario."""
+
+    attack_outcome: AttackOutcome
+    recovery_fraction: float
+    pages_recovered: int
+    defended: bool
+    detected: bool
+    detection_latency_us: Optional[int]
+    compromised: bool
+    write_amplification: float
+    mean_write_latency_us: float
+    mean_read_latency_us: float
+    host_commands: int
+    flash_pages_programmed: int
+    oplog_hash: Optional[str]
+
+
+def score_recovery(
+    defense: Defense, env: AttackEnvironment, outcome: AttackOutcome
+) -> tuple:
+    """Fraction of victim pages whose pre-attack version is producible."""
+    recovered = 0
+    total = 0
+    for lba in outcome.victim_lbas:
+        original = outcome.original_fingerprints.get(lba)
+        if original is None:
+            continue
+        total += 1
+        live = env.device.read_content(lba)  # type: ignore[attr-defined]
+        if live is not None and live.fingerprint == original:
+            recovered += 1
+            continue
+        version = defense.pre_attack_version(lba, outcome.start_us)
+        if version is not None and version.fingerprint == original:
+            recovered += 1
+    fraction = recovered / total if total else 0.0
+    return fraction, recovered
+
+
+def execute_scenario(
+    defense_factory: Callable[[SSDGeometry, SimClock], Defense],
+    attack_factory: Callable[[], object],
+    workload: Callable[[AttackEnvironment, random.Random, float, float], None],
+    geometry: SSDGeometry,
+    victim_files: int,
+    file_size_bytes: int,
+    env_seed: int,
+    workload_rng: random.Random,
+    user_activity_hours: float,
+    recent_edit_fraction: float,
+) -> ScenarioOutcome:
+    """Run one (defense, attack, workload) scenario and score it."""
+    clock = SimClock()
+    defense = defense_factory(geometry, clock)
+    env = build_environment(
+        defense.device,
+        victim_files=victim_files,
+        file_size_bytes=file_size_bytes,
+        seed=env_seed,
+    )
+    workload(env, workload_rng, user_activity_hours, recent_edit_fraction)
+    attack = attack_factory()
+    compromised = False
+    if getattr(attack, "aggressive", False):
+        compromised = defense.compromise()
+    outcome: AttackOutcome = attack.execute(env)  # type: ignore[attr-defined]
+    fraction, recovered = score_recovery(defense, env, outcome)
+
+    detected = defense.detect()
+    detection_latency_us: Optional[int] = None
+    if detected:
+        detected_at = defense.detection_time_us()
+        if detected_at is not None:
+            detection_latency_us = max(0, detected_at - outcome.start_us)
+        else:
+            # The defense flags but cannot timestamp the trigger: bound
+            # the latency by the end of the attack.
+            detection_latency_us = outcome.duration_us
+
+    device = defense.device
+    metrics = device.metrics  # type: ignore[attr-defined]
+    oplog = getattr(device, "oplog", None)
+    return ScenarioOutcome(
+        attack_outcome=outcome,
+        recovery_fraction=fraction,
+        pages_recovered=recovered,
+        defended=fraction >= DEFENDED_THRESHOLD,
+        detected=detected,
+        detection_latency_us=detection_latency_us,
+        compromised=compromised,
+        write_amplification=metrics.write_amplification,
+        mean_write_latency_us=metrics.latency["write"].mean_us,
+        mean_read_latency_us=metrics.latency["read"].mean_us,
+        host_commands=(
+            metrics.host_reads
+            + metrics.host_writes
+            + metrics.host_trims
+            + metrics.host_flushes
+        ),
+        flash_pages_programmed=metrics.flash_pages_programmed,
+        oplog_hash=oplog.chain.head.hex() if oplog is not None else None,
+    )
+
+
+def run_cell(spec: CellSpec) -> CellResult:
+    """Execute one cell spec (module-level, so process pools can pickle it)."""
+    defense_factory = registries.DEFENSES[spec.defense]
+    attack_builder = registries.ATTACKS[spec.attack]
+    workload = registries.WORKLOADS[spec.workload]
+    geometry = registries.DEVICE_CONFIGS[spec.device_config]()
+    scenario = execute_scenario(
+        defense_factory=defense_factory,
+        attack_factory=lambda: attack_builder(spec.attack_seed),
+        workload=workload,
+        geometry=geometry,
+        victim_files=spec.victim_files,
+        file_size_bytes=spec.file_size_bytes,
+        env_seed=spec.env_seed,
+        workload_rng=random.Random(spec.workload_seed),
+        user_activity_hours=spec.user_activity_hours,
+        recent_edit_fraction=spec.recent_edit_fraction,
+    )
+    outcome = scenario.attack_outcome
+    return CellResult(
+        cell_key=spec.cell_key,
+        defense=spec.defense,
+        attack=spec.attack,
+        workload=spec.workload,
+        device_config=spec.device_config,
+        recovery_fraction=scenario.recovery_fraction,
+        defended=scenario.defended,
+        victim_pages=len(outcome.victim_lbas),
+        pages_recovered=scenario.pages_recovered,
+        detected=scenario.detected,
+        detection_latency_us=scenario.detection_latency_us,
+        compromised=scenario.compromised,
+        attack_duration_us=outcome.duration_us,
+        write_amplification=scenario.write_amplification,
+        mean_write_latency_us=scenario.mean_write_latency_us,
+        mean_read_latency_us=scenario.mean_read_latency_us,
+        host_commands=scenario.host_commands,
+        flash_pages_programmed=scenario.flash_pages_programmed,
+        oplog_hash=scenario.oplog_hash,
+        env_seed=spec.env_seed,
+        workload_seed=spec.workload_seed,
+        attack_seed=spec.attack_seed,
+    )
+
+
+def run_campaign(
+    grid: CampaignGrid,
+    backend: str = "sequential",
+    jobs: int = 0,
+    filters: Optional[Sequence[str]] = None,
+    runner: Optional[ExperimentRunner] = None,
+    specs: Optional[List[CellSpec]] = None,
+) -> CampaignArtifact:
+    """Execute a grid and assemble the (order-independent) artifact.
+
+    ``specs`` overrides the grid expansion (the determinism tests use it
+    to prove execution order does not matter); the artifact sorts cells
+    by key either way.
+    """
+    if specs is None:
+        specs = grid.cells(filters)
+    if runner is None:
+        runner = ExperimentRunner(backend=backend, jobs=jobs)
+    cells = runner.map(run_cell, specs)
+    return CampaignArtifact(
+        campaign_seed=grid.seed,
+        grid=grid.describe(),
+        cells=cells,
+    )

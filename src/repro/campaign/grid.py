@@ -1,0 +1,154 @@
+"""Declarative campaign grids and per-cell specifications.
+
+A grid is the cartesian product of named defenses, attacks, workload
+generators and device configs plus shared scenario parameters.  It
+expands into :class:`CellSpec` records that carry everything a worker
+process needs -- names and numbers only, so specs pickle cleanly and the
+process-pool backend stays trivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from fnmatch import fnmatchcase
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.campaign import registries
+from repro.campaign.seeding import derive_seed
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One fully-specified (defense, attack, workload, device) scenario.
+
+    ``env_seed`` / ``workload_seed`` / ``attack_seed`` are materialized
+    at grid expansion, derived from ``(campaign_seed, cell_key)``, so a
+    spec is self-contained: executing it anywhere, in any order, on any
+    backend gives the same result.
+    """
+
+    defense: str
+    attack: str
+    workload: str
+    device_config: str
+    victim_files: int
+    file_size_bytes: int
+    user_activity_hours: float
+    recent_edit_fraction: float
+    env_seed: int
+    workload_seed: int
+    attack_seed: int
+
+    @property
+    def cell_key(self) -> str:
+        """Stable identifier: defense/attack/workload/device_config."""
+        return f"{self.defense}/{self.attack}/{self.workload}/{self.device_config}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def filter_specs(specs: Iterable[CellSpec], patterns: Sequence[str]) -> List[CellSpec]:
+    """Keep specs whose cell key matches any shell-style pattern.
+
+    A bare substring (no glob metacharacters) matches anywhere in the
+    key, so ``--filter RSSD`` selects every RSSD cell.
+    """
+    if not patterns:
+        return list(specs)
+    globs = [
+        pattern if any(ch in pattern for ch in "*?[") else f"*{pattern}*"
+        for pattern in patterns
+    ]
+    return [
+        spec
+        for spec in specs
+        if any(fnmatchcase(spec.cell_key, pattern) for pattern in globs)
+    ]
+
+
+@dataclass
+class CampaignGrid:
+    """The experiment grid a campaign executes.
+
+    ``seed`` is the campaign seed every cell seed is derived from;
+    change it and every cell changes, keep it and every cell reproduces
+    bit-for-bit.
+    """
+
+    defenses: List[str] = field(
+        default_factory=lambda: list(registries.DEFENSES)
+    )
+    attacks: List[str] = field(
+        default_factory=lambda: list(registries.DEFAULT_ATTACKS)
+    )
+    workloads: List[str] = field(default_factory=lambda: ["office-edit"])
+    device_configs: List[str] = field(default_factory=lambda: ["tiny"])
+    victim_files: int = 24
+    file_size_bytes: int = 8192
+    user_activity_hours: float = 30.0
+    recent_edit_fraction: float = 0.3
+    seed: int = 23
+
+    def __post_init__(self) -> None:
+        registries.validate_names(
+            self.defenses, self.attacks, self.workloads, self.device_configs
+        )
+        if self.victim_files < 1:
+            raise ValueError("victim_files must be at least 1")
+        if self.file_size_bytes < 1:
+            raise ValueError("file_size_bytes must be at least 1")
+
+    @classmethod
+    def tiny(cls) -> "CampaignGrid":
+        """The CI smoke / golden-run grid: small, fast, still cross-layer."""
+        return cls(
+            defenses=["LocalSSD", "FlashGuard", "RSSD"],
+            attacks=["classic", "trimming-attack"],
+            workloads=["office-edit"],
+            device_configs=["tiny"],
+            victim_files=12,
+            file_size_bytes=8192,
+            user_activity_hours=6.0,
+            recent_edit_fraction=0.3,
+            seed=71,
+        )
+
+    def cells(self, filters: Optional[Sequence[str]] = None) -> List[CellSpec]:
+        """Expand the grid (defense-major order) into seeded cell specs."""
+        specs: List[CellSpec] = []
+        for defense in self.defenses:
+            for attack in self.attacks:
+                for workload in self.workloads:
+                    for device_config in self.device_configs:
+                        key = f"{defense}/{attack}/{workload}/{device_config}"
+                        specs.append(
+                            CellSpec(
+                                defense=defense,
+                                attack=attack,
+                                workload=workload,
+                                device_config=device_config,
+                                victim_files=self.victim_files,
+                                file_size_bytes=self.file_size_bytes,
+                                user_activity_hours=self.user_activity_hours,
+                                recent_edit_fraction=self.recent_edit_fraction,
+                                env_seed=derive_seed(self.seed, key, "env"),
+                                workload_seed=derive_seed(self.seed, key, "workload"),
+                                attack_seed=derive_seed(self.seed, key, "attack"),
+                            )
+                        )
+        return filter_specs(specs, filters or [])
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-ready description embedded in campaign artifacts."""
+        return {
+            "defenses": list(self.defenses),
+            "attacks": list(self.attacks),
+            "workloads": list(self.workloads),
+            "device_configs": list(self.device_configs),
+            "victim_files": self.victim_files,
+            "file_size_bytes": self.file_size_bytes,
+            "user_activity_hours": self.user_activity_hours,
+            "recent_edit_fraction": self.recent_edit_fraction,
+            "seed": self.seed,
+        }

@@ -1,0 +1,155 @@
+"""Structured campaign results and the versioned JSON artifact.
+
+A :class:`CellResult` is the scored outcome of one grid cell; a
+:class:`CampaignArtifact` is the whole run -- grid description plus
+cells, sorted by cell key so the serialized form is independent of
+execution order and backend.  ``to_json`` is canonical (sorted keys,
+fixed indentation, trailing newline), which is what lets the golden-run
+suite compare artifacts bit-for-bit and ``diff`` explain regressions
+field by field.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+#: Bump when the artifact schema changes; readers refuse newer versions.
+ARTIFACT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Scored outcome of one (defense, attack, workload, device) cell."""
+
+    cell_key: str
+    defense: str
+    attack: str
+    workload: str
+    device_config: str
+    # -- recovery ---------------------------------------------------------
+    recovery_fraction: float
+    defended: bool
+    victim_pages: int
+    pages_recovered: int
+    # -- detection --------------------------------------------------------
+    detected: bool
+    #: Microseconds from attack start to the detector's first trigger;
+    #: bounded by attack end when the defense cannot timestamp the
+    #: trigger; ``None`` when nothing was detected.
+    detection_latency_us: Optional[int]
+    compromised: bool
+    attack_duration_us: int
+    # -- I/O overhead -----------------------------------------------------
+    write_amplification: float
+    mean_write_latency_us: float
+    mean_read_latency_us: float
+    host_commands: int
+    flash_pages_programmed: int
+    # -- provenance -------------------------------------------------------
+    #: Hex head of the device's hardware operation-log hash chain (RSSD
+    #: cells); ``None`` for devices without an oplog.  Pins the exact
+    #: command stream the cell produced.
+    oplog_hash: Optional[str]
+    env_seed: int
+    workload_seed: int
+    attack_seed: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CellResult":
+        return cls(**data)  # type: ignore[arg-type]
+
+
+@dataclass
+class CampaignArtifact:
+    """A completed campaign: grid description plus per-cell results."""
+
+    campaign_seed: int
+    grid: Dict[str, object]
+    cells: List[CellResult] = field(default_factory=list)
+    version: int = ARTIFACT_VERSION
+
+    def __post_init__(self) -> None:
+        self.cells = sorted(self.cells, key=lambda cell: cell.cell_key)
+
+    # -- lookups ----------------------------------------------------------
+
+    def cell(self, cell_key: str) -> CellResult:
+        for result in self.cells:
+            if result.cell_key == cell_key:
+                return result
+        raise KeyError(f"no cell named {cell_key!r} in this artifact")
+
+    @property
+    def cell_keys(self) -> List[str]:
+        return [result.cell_key for result in self.cells]
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": self.version,
+            "campaign_seed": self.campaign_seed,
+            "grid": self.grid,
+            "cells": [result.to_dict() for result in self.cells],
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization: stable key order, trailing newline."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignArtifact":
+        version = int(data.get("version", -1))
+        if version > ARTIFACT_VERSION:
+            raise ValueError(
+                f"artifact version {version} is newer than supported "
+                f"version {ARTIFACT_VERSION}"
+            )
+        return cls(
+            campaign_seed=int(data["campaign_seed"]),  # type: ignore[arg-type]
+            grid=dict(data.get("grid", {})),  # type: ignore[arg-type]
+            cells=[CellResult.from_dict(cell) for cell in data.get("cells", [])],  # type: ignore[union-attr]
+            version=version,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignArtifact":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "CampaignArtifact":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    # -- comparison -------------------------------------------------------
+
+    def diff(self, baseline: "CampaignArtifact") -> List[str]:
+        """Human-readable field-level differences against ``baseline``.
+
+        Returns an empty list when the artifacts agree on every cell
+        they share and neither has cells the other lacks.
+        """
+        differences: List[str] = []
+        ours = {cell.cell_key: cell for cell in self.cells}
+        theirs = {cell.cell_key: cell for cell in baseline.cells}
+        for key in sorted(set(theirs) - set(ours)):
+            differences.append(f"missing cell: {key}")
+        for key in sorted(set(ours) - set(theirs)):
+            differences.append(f"extra cell: {key}")
+        for key in sorted(set(ours) & set(theirs)):
+            mine, other = ours[key].to_dict(), theirs[key].to_dict()
+            for fname in sorted(mine):
+                if mine[fname] != other[fname]:
+                    differences.append(
+                        f"{key}: {fname} {other[fname]!r} -> {mine[fname]!r}"
+                    )
+        return differences

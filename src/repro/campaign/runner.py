@@ -1,0 +1,62 @@
+"""Pluggable execution backends shared by every evaluation path.
+
+:class:`ExperimentRunner` is a deliberately small abstraction: an
+ordered ``map`` over independent work items with a choice of backend.
+The campaign engine maps cell specs through it, and the fleet runner
+maps per-device replays through it, so both evaluation paths share one
+parallelism implementation.
+
+The module depends only on the standard library so that low-level
+packages (``repro.workloads``) can import it without pulling in the
+defense or attack layers.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+#: Backends accepted by :class:`ExperimentRunner`.
+BACKENDS = ("sequential", "thread", "process")
+
+
+class ExperimentRunner:
+    """Maps a function over work items with a selectable backend.
+
+    Results are always returned in input order, whatever order the
+    backend completes them in, so callers can rely on positional
+    correspondence -- the property the determinism tests pin down.
+
+    The ``process`` backend requires ``fn`` and the items to be
+    picklable (module-level functions over plain dataclasses); use
+    ``thread`` for closures over live simulator objects.
+    """
+
+    def __init__(self, backend: str = "sequential", jobs: int = 0) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if jobs < 0:
+            raise ValueError("jobs must be non-negative (0 = auto)")
+        self.backend = backend
+        self.jobs = jobs if jobs > 0 else (os.cpu_count() or 1)
+
+    def map(
+        self, fn: Callable[[ItemT], ResultT], items: Iterable[ItemT]
+    ) -> List[ResultT]:
+        """Apply ``fn`` to every item, returning results in input order."""
+        work: Sequence[ItemT] = list(items)
+        if not work:
+            return []
+        if self.backend == "sequential" or self.jobs == 1 or len(work) == 1:
+            return [fn(item) for item in work]
+        executor_cls = (
+            ThreadPoolExecutor if self.backend == "thread" else ProcessPoolExecutor
+        )
+        with executor_cls(max_workers=min(self.jobs, len(work))) as pool:
+            return list(pool.map(fn, work))

@@ -106,6 +106,62 @@ def _cmd_ablation_detection(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_campaign(args: argparse.Namespace) -> str:
+    from repro.analysis.reporting import (
+        render_campaign_capability,
+        render_campaign_overhead,
+    )
+    from repro.campaign import CampaignArtifact, CampaignGrid, run_campaign
+
+    import dataclasses
+
+    grid = CampaignGrid.tiny() if args.grid == "tiny" else CampaignGrid()
+    overrides = {
+        name: value
+        for name, value in (
+            ("defenses", args.defenses),
+            ("attacks", args.attacks),
+            ("workloads", args.workloads),
+            ("device_configs", args.device_configs),
+            ("seed", args.seed),
+            ("victim_files", args.victim_files),
+        )
+        if value is not None
+    }
+    if overrides:
+        # replace() re-runs __post_init__, so unknown names and invalid
+        # sizes fail fast here instead of deep inside a pool worker.
+        grid = dataclasses.replace(grid, **overrides)
+
+    backend = args.backend
+    if backend == "auto":
+        backend = "process" if args.jobs != 1 else "sequential"
+    artifact = run_campaign(
+        grid, backend=backend, jobs=args.jobs, filters=args.filter
+    )
+
+    sections = [
+        f"Campaign: {len(artifact.cells)} cells, seed {grid.seed}, "
+        f"backend {backend}, jobs {args.jobs or 'auto'}",
+        render_campaign_capability(artifact),
+        render_campaign_overhead(artifact),
+    ]
+    if args.output:
+        artifact.save(args.output)
+        sections.append(f"artifact written to {args.output}")
+    if args.baseline:
+        baseline = CampaignArtifact.load(args.baseline)
+        differences = artifact.diff(baseline)
+        if differences:
+            sections.append(
+                f"BASELINE MISMATCH vs {args.baseline}:\n" + "\n".join(differences)
+            )
+            print("\n\n".join(sections))
+            raise SystemExit(1)
+        sections.append(f"baseline match: {args.baseline}")
+    return "\n\n".join(sections)
+
+
 def _cmd_fleet(args: argparse.Namespace) -> str:
     from repro.ssd.geometry import SSDGeometry
     from repro.workloads.fleet import FleetRunner, default_fleet_factories
@@ -177,6 +233,41 @@ def build_parser() -> argparse.ArgumentParser:
         "ablation-detection", help="A3: local vs offloaded detection"
     )
     ablation_detection.set_defaults(func=_cmd_ablation_detection)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="Run a defense x attack x workload campaign grid",
+        description=(
+            "Execute a declarative scenario grid through the campaign engine "
+            "with per-cell deterministic seeding, optionally in parallel, and "
+            "emit/compare versioned JSON artifacts."
+        ),
+    )
+    campaign.add_argument(
+        "--grid", choices=["default", "tiny"], default="default",
+        help="base grid (tiny = the CI smoke / golden-run grid)",
+    )
+    campaign.add_argument("--defenses", nargs="*", default=None, help="override defense rows")
+    campaign.add_argument("--attacks", nargs="*", default=None, help="override attack columns")
+    campaign.add_argument("--workloads", nargs="*", default=None, help="override workload generators")
+    campaign.add_argument("--device-configs", nargs="*", default=None, help="override device geometries")
+    campaign.add_argument("--seed", type=int, default=None, help="campaign seed (cell seeds derive from it)")
+    campaign.add_argument("--victim-files", type=int, default=None)
+    campaign.add_argument("--jobs", type=int, default=1, help="parallel workers (0 = all cores)")
+    campaign.add_argument(
+        "--backend", choices=["auto", "sequential", "thread", "process"], default="auto",
+        help="execution backend (auto = process pool when --jobs != 1)",
+    )
+    campaign.add_argument(
+        "--filter", nargs="*", default=None, metavar="PATTERN",
+        help="only run cells whose defense/attack/workload/device key matches",
+    )
+    campaign.add_argument("--output", default=None, help="write the artifact JSON here")
+    campaign.add_argument(
+        "--baseline", default=None, metavar="ARTIFACT",
+        help="diff against a stored artifact; exit 1 on any difference",
+    )
+    campaign.set_defaults(func=_cmd_campaign)
 
     fleet = subparsers.add_parser(
         "fleet", help="Replay a synthetic trace against a fleet of devices"

@@ -79,6 +79,18 @@ class Defense(ABC):
         """Whether the defense has flagged ransomware activity so far."""
         return False
 
+    def detection_time_us(self) -> Optional[int]:
+        """Device time of the detector's first trigger, if known.
+
+        Detectors that can timestamp their trigger record it in
+        ``_detected_at_us``; defenses that only expose a boolean return
+        ``None`` and the campaign engine bounds the latency by the end
+        of the attack instead.
+        """
+        if not self.detect():
+            return None
+        return getattr(self, "_detected_at_us", None)
+
     def forensic_report(self) -> Optional[object]:
         """A verified record of operations, if the defense supports forensics."""
         return None

@@ -7,6 +7,14 @@ attacks run with administrator privilege), executes the attack, and
 then asks the defense to produce the pre-attack version of every victim
 page.  The fraction it can produce is the measured recovery capability;
 ``✔`` / ``✗`` and ``●`` / ``◗`` / ``❍`` are derived from it.
+
+This module is a compatibility facade: scenario execution lives in
+:mod:`repro.campaign.engine` (shared with the campaign CLI and the
+golden-run suite), and the defense/attack registries live in
+:mod:`repro.campaign.registries`.  The matrix keeps its historical
+fixed seeding -- one ``seed`` for every cell -- so results are
+unchanged from before the refactor; campaigns derive per-cell seeds
+instead.
 """
 
 from __future__ import annotations
@@ -15,26 +23,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.attacks.base import AttackEnvironment, AttackOutcome, build_environment
-from repro.attacks.classic import ClassicRansomware, DestructionMode
-from repro.attacks.gc_attack import GCAttack
-from repro.attacks.timing_attack import TimingAttack
-from repro.attacks.trimming_attack import TrimmingAttack
 from repro.defenses.base import Defense
-from repro.defenses.flashguard import FlashGuardDefense
-from repro.defenses.rblocker import RBlockerDefense
-from repro.defenses.rssd_adapter import RSSDDefense
-from repro.defenses.software import (
-    CloudBackupDefense,
-    CryptoDropDefense,
-    JournalingFSDefense,
-    ShieldFSDefense,
-    UnveilDefense,
-)
-from repro.defenses.ssdinsider import SSDInsiderDefense
-from repro.defenses.timessd import TimeSSDDefense
-from repro.defenses.unprotected import UnprotectedSSD
-from repro.sim import SimClock, US_PER_HOUR
+from repro.sim import SimClock
 from repro.ssd.geometry import SSDGeometry
 
 #: Recovery fraction at or above which an attack counts as "defended".
@@ -110,28 +100,17 @@ AttackFactory = Callable[[], object]
 
 def default_defense_factories() -> Dict[str, DefenseFactory]:
     """Factories for every row of Table 1 (plus the unprotected floor)."""
-    return {
-        "LocalSSD": lambda geometry, clock: UnprotectedSSD(geometry=geometry, clock=clock),
-        "Unveil": lambda geometry, clock: UnveilDefense(geometry=geometry, clock=clock),
-        "CryptoDrop": lambda geometry, clock: CryptoDropDefense(geometry=geometry, clock=clock),
-        "CloudBackup": lambda geometry, clock: CloudBackupDefense(geometry=geometry, clock=clock),
-        "ShieldFS": lambda geometry, clock: ShieldFSDefense(geometry=geometry, clock=clock),
-        "JFS": lambda geometry, clock: JournalingFSDefense(geometry=geometry, clock=clock),
-        "FlashGuard": lambda geometry, clock: FlashGuardDefense(geometry=geometry, clock=clock),
-        "TimeSSD": lambda geometry, clock: TimeSSDDefense(geometry=geometry, clock=clock),
-        "SSDInsider": lambda geometry, clock: SSDInsiderDefense(geometry=geometry, clock=clock),
-        "RBlocker": lambda geometry, clock: RBlockerDefense(geometry=geometry, clock=clock),
-        "RSSD": lambda geometry, clock: RSSDDefense(geometry=geometry, clock=clock),
-    }
+    from repro.campaign.registries import DEFENSES
+
+    return dict(DEFENSES)
 
 
 def default_attack_factories(seed: int = 97) -> Dict[str, AttackFactory]:
     """Factories for the attack columns of the matrix."""
+    from repro.campaign.registries import ATTACKS, DEFAULT_ATTACKS
+
     return {
-        "classic": lambda: ClassicRansomware(destruction=DestructionMode.OVERWRITE, seed=seed),
-        "gc-attack": lambda: GCAttack(seed=seed),
-        "timing-attack": lambda: TimingAttack(seed=seed),
-        "trimming-attack": lambda: TrimmingAttack(seed=seed),
+        name: (lambda name=name: ATTACKS[name](seed)) for name in DEFAULT_ATTACKS
     }
 
 
@@ -156,84 +135,52 @@ class CapabilityMatrix:
 
     # -- scenario pieces ---------------------------------------------------------
 
-    def _user_activity(self, env: AttackEnvironment) -> None:
-        """Simulate a user working on the files before the attack.
+    def _user_activity(self, env) -> None:
+        """Pre-attack user workload (the engine's office-edit generator)."""
+        from repro.campaign.registries import office_edit_activity
 
-        Edits are spread over ``user_activity_hours``; a final burst of
-        edits lands shortly before the attack so that snapshot-based
-        defenses have changes they have not yet backed up -- the reason
-        backup recovery is partial rather than complete.
-        """
-        rng = random.Random(self.seed + 1)
-        files = env.fs.list_files()
-        if not files:
-            return
-        sessions = 6
-        session_gap_us = int(self.user_activity_hours * US_PER_HOUR / sessions)
-        for session in range(sessions):
-            env.clock.advance(session_gap_us)
-            for name in rng.sample(files, max(1, len(files) // 4)):
-                data = env.fs.read_file(name)
-                edited = data[: len(data) // 2] + b" edited v%d " % session + data[len(data) // 2 :]
-                env.fs.overwrite_file(name, edited[: len(data)])
-        # Recent, not-yet-backed-up edits right before the attack.
-        recent = rng.sample(files, max(1, int(len(files) * self.recent_edit_fraction)))
-        env.clock.advance(US_PER_HOUR // 2)
-        for name in recent:
-            data = env.fs.read_file(name)
-            edited = (b"last minute change " + data)[: len(data)]
-            env.fs.overwrite_file(name, edited)
-        env.clock.advance(US_PER_HOUR // 4)
+        office_edit_activity(
+            env,
+            random.Random(self.seed + 1),
+            self.user_activity_hours,
+            self.recent_edit_fraction,
+        )
 
     def run_scenario(
         self, defense_factory: DefenseFactory, attack_factory: AttackFactory
     ) -> CapabilityCell:
         """Run one (defense, attack) scenario and score it."""
-        clock = SimClock()
-        defense = defense_factory(self.geometry, clock)
-        env = build_environment(
-            defense.device,
+        from repro.campaign.engine import execute_scenario
+        from repro.campaign.registries import office_edit_activity
+
+        scenario = execute_scenario(
+            defense_factory=defense_factory,
+            attack_factory=attack_factory,
+            workload=office_edit_activity,
+            geometry=self.geometry,
             victim_files=self.victim_files,
             file_size_bytes=self.file_size_bytes,
-            seed=self.seed,
+            env_seed=self.seed,
+            workload_rng=random.Random(self.seed + 1),
+            user_activity_hours=self.user_activity_hours,
+            recent_edit_fraction=self.recent_edit_fraction,
         )
-        self._user_activity(env)
-        attack = attack_factory()
-        compromised = False
-        if getattr(attack, "aggressive", False):
-            compromised = defense.compromise()
-        outcome: AttackOutcome = attack.execute(env)
-        fraction, recovered = self._score_recovery(defense, env, outcome)
+        outcome = scenario.attack_outcome
         return CapabilityCell(
             attack=outcome.attack_name,
-            recovery_fraction=fraction,
-            defended=fraction >= DEFENDED_THRESHOLD,
-            detected=defense.detect(),
-            compromised=compromised,
+            recovery_fraction=scenario.recovery_fraction,
+            defended=scenario.defended,
+            detected=scenario.detected,
+            compromised=scenario.compromised,
             victim_pages=len(outcome.victim_lbas),
-            pages_recovered=recovered,
+            pages_recovered=scenario.pages_recovered,
             attack_duration_us=outcome.duration_us,
         )
 
-    def _score_recovery(
-        self, defense: Defense, env: AttackEnvironment, outcome: AttackOutcome
-    ):
-        recovered = 0
-        total = 0
-        for lba in outcome.victim_lbas:
-            original = outcome.original_fingerprints.get(lba)
-            if original is None:
-                continue
-            total += 1
-            live = env.device.read_content(lba)  # type: ignore[attr-defined]
-            if live is not None and live.fingerprint == original:
-                recovered += 1
-                continue
-            version = defense.pre_attack_version(lba, outcome.start_us)
-            if version is not None and version.fingerprint == original:
-                recovered += 1
-        fraction = recovered / total if total else 0.0
-        return fraction, recovered
+    def _score_recovery(self, defense: Defense, env, outcome):
+        from repro.campaign.engine import score_recovery
+
+        return score_recovery(defense, env, outcome)
 
     # -- full matrix -----------------------------------------------------------------
 

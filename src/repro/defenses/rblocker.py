@@ -32,6 +32,7 @@ class RBlockerDefense(HardwareDefense):
     def __init__(self, *args, **kwargs) -> None:
         self._entropy_window = EntropyWindow(window_size=96)
         self._detected = False
+        self._detected_at_us = None
         self.blocked_writes = 0
         super().__init__(*args, **kwargs)
 
@@ -39,6 +40,8 @@ class RBlockerDefense(HardwareDefense):
         if op.op_type is HostOpType.WRITE and op.content is not None:
             self._entropy_window.observe(op.content.entropy)
             if self._entropy_window.is_suspicious(fraction_threshold=0.7):
+                if not self._detected:
+                    self._detected_at_us = op.timestamp_us
                 self._detected = True
             elif self._detected:
                 # Once triggered, RBlocker throttles/blocks further bursty

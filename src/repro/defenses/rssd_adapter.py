@@ -60,9 +60,21 @@ class RSSDDefense(Defense):
         return version.content
 
     def detect(self) -> bool:
-        report = self.rssd.detect()
-        local = self.rssd.local_detector.report()
-        return report.detected or local.detected
+        # The remote report replays the full operation log; cache it so
+        # detection_time_us() does not repeat the analysis.
+        self._remote_report = self.rssd.detect()
+        self._local_report = self.rssd.local_detector.report()
+        return self._remote_report.detected or self._local_report.detected
+
+    def detection_time_us(self) -> Optional[int]:
+        if getattr(self, "_remote_report", None) is None:
+            self.detect()
+        local = self._local_report
+        if local.detected and local.detection_time_us is not None:
+            return local.detection_time_us
+        if self._remote_report.detected:
+            return getattr(self._remote_report, "detection_time_us", None)
+        return None
 
     def forensic_report(self):
         return self.rssd.investigate()

@@ -35,6 +35,7 @@ class UnveilDefense(SoftwareDefense):
         super().__init__(*args, **kwargs)
         self._window = EntropyWindow(window_size=64)
         self._detected = False
+        self._detected_at_us: Optional[int] = None
 
     def on_host_op(self, op: HostOp) -> None:
         if self.compromised:
@@ -42,6 +43,8 @@ class UnveilDefense(SoftwareDefense):
         if op.op_type is HostOpType.WRITE and op.content is not None:
             self._window.observe(op.content.entropy)
             if self._window.is_suspicious(fraction_threshold=0.7):
+                if not self._detected:
+                    self._detected_at_us = op.timestamp_us
                 self._detected = True
 
     def detect(self) -> bool:
@@ -70,6 +73,7 @@ class CryptoDropDefense(SoftwareDefense):
         self._read_then_overwrite = 0
         self._lbas_touched: set = set()
         self._detected = False
+        self._detected_at_us: Optional[int] = None
 
     def on_host_op(self, op: HostOp) -> None:
         if self.compromised:
@@ -83,9 +87,9 @@ class CryptoDropDefense(SoftwareDefense):
                 self._high_entropy_overwrites += 1
                 if any(page in self._recently_read for page in pages):
                     self._read_then_overwrite += 1
-            self._evaluate()
+            self._evaluate(op.timestamp_us)
 
-    def _evaluate(self) -> None:
+    def _evaluate(self, now_us: int) -> None:
         indicators = 0
         if self._high_entropy_overwrites >= 16:
             indicators += 1
@@ -94,6 +98,8 @@ class CryptoDropDefense(SoftwareDefense):
         if len(self._lbas_touched) >= 64:
             indicators += 1
         if indicators >= self.indicator_threshold:
+            if not self._detected:
+                self._detected_at_us = now_us
             self._detected = True
 
     def detect(self) -> bool:
@@ -190,6 +196,7 @@ class ShieldFSDefense(SoftwareDefense):
         self._copies: Dict[int, List[Tuple[int, int, PageContent]]] = {}
         self._window = EntropyWindow(window_size=64)
         self._detected = False
+        self._detected_at_us: Optional[int] = None
 
     def on_host_op(self, op: HostOp) -> None:
         if self.compromised:
@@ -207,6 +214,8 @@ class ShieldFSDefense(SoftwareDefense):
             self._expire(lba, op.timestamp_us)
         self._window.observe(op.content.entropy)
         if self._window.is_suspicious(fraction_threshold=0.7):
+            if not self._detected:
+                self._detected_at_us = op.timestamp_us
             self._detected = True
 
     def _expire(self, lba: int, now_us: int) -> None:

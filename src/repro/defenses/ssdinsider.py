@@ -33,12 +33,15 @@ class SSDInsiderDefense(HardwareDefense):
     def __init__(self, *args, **kwargs) -> None:
         self._entropy_window = EntropyWindow(window_size=64)
         self._detected = False
+        self._detected_at_us = None
         super().__init__(*args, **kwargs)
 
     def on_host_op(self, op: HostOp) -> None:
         if op.op_type is HostOpType.WRITE and op.content is not None:
             self._entropy_window.observe(op.content.entropy)
             if self._entropy_window.is_suspicious(fraction_threshold=0.75):
+                if not self._detected:
+                    self._detected_at_us = op.timestamp_us
                 self._detected = True
 
     def detect(self) -> bool:

@@ -13,13 +13,15 @@ supported:
   absorbs the aggregate traffic of many users.
 
 Devices are independent simulations (each owns its clock), so shards
-can also be replayed on real OS threads with ``parallel=True``.
+can also be replayed on real OS threads with ``parallel=True``.  The
+replays run through the same :class:`~repro.campaign.runner
+.ExperimentRunner` the campaign engine uses, so both evaluation paths
+share one parallelism implementation.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -226,21 +228,25 @@ class FleetRunner:
         mode: str,
         parallel: bool,
     ) -> FleetReport:
+        # Imported lazily: the campaign package sits above the defense and
+        # attack layers, and importing it at module level would close an
+        # import cycle through repro.host -> repro.workloads.
+        from repro.campaign.runner import ExperimentRunner
+
+        concurrent = parallel and len(assignment) > 1
         report = FleetReport(
             mode=mode,
             total_records=sum(len(records) for records in assignment.values()),
             batched=self.batched,
-            parallel=parallel and len(assignment) > 1,
+            parallel=concurrent,
         )
-        if parallel and len(assignment) > 1:
-            with ThreadPoolExecutor(max_workers=len(assignment)) as pool:
-                futures = {
-                    name: pool.submit(self._replay_one, name, records)
-                    for name, records in assignment.items()
-                }
-                report.devices = [futures[name].result() for name in assignment]
-        else:
-            report.devices = [
-                self._replay_one(name, records) for name, records in assignment.items()
-            ]
+        # Thread backend: the factories close over live simulator objects,
+        # which a process pool could not pickle.
+        runner = ExperimentRunner(
+            backend="thread" if concurrent else "sequential",
+            jobs=len(assignment),
+        )
+        report.devices = runner.map(
+            lambda name: self._replay_one(name, assignment[name]), list(assignment)
+        )
         return report

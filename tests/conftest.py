@@ -4,6 +4,25 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "Regenerate the golden campaign artifacts under tests/golden/ "
+            "instead of comparing against them (for intentional changes; "
+            "review the diff before committing)."
+        ),
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """Whether this run should rewrite golden artifacts."""
+    return bool(request.config.getoption("--update-golden"))
+
 from repro.core.config import RSSDConfig
 from repro.core.rssd import RSSD
 from repro.sim import SimClock

@@ -1,0 +1,73 @@
+"""Golden-run regression suite for the campaign engine.
+
+A small baseline campaign artifact is committed under ``tests/golden/``;
+this suite re-runs the same grid with the same campaign seed and asserts
+the fresh artifact reproduces the stored one *bit-for-bit* -- recovery
+fractions, detection latencies, I/O overheads and oplog hash chains.
+Any refactor of the SSD substrate, the defenses, the attacks or the
+engine that changes observable behaviour trips this test.
+
+Intentional changes: run ``pytest tests/test_campaign_golden.py
+--update-golden`` to regenerate the artifact, then review the JSON diff
+like any other code change before committing it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CampaignArtifact, CampaignGrid, run_campaign
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_TINY = GOLDEN_DIR / "campaign_tiny.json"
+
+
+def _fresh_tiny_artifact() -> CampaignArtifact:
+    return run_campaign(CampaignGrid.tiny(), backend="sequential")
+
+
+def test_tiny_campaign_reproduces_golden_artifact(update_golden):
+    artifact = _fresh_tiny_artifact()
+    text = artifact.to_json()
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        GOLDEN_TINY.write_text(text, encoding="utf-8")
+        pytest.skip(f"golden artifact rewritten: {GOLDEN_TINY}")
+    assert GOLDEN_TINY.exists(), (
+        "golden artifact missing; run pytest tests/test_campaign_golden.py "
+        "--update-golden to create it"
+    )
+    stored = GOLDEN_TINY.read_text(encoding="utf-8")
+    if text != stored:
+        differences = artifact.diff(CampaignArtifact.from_json(stored))
+        pytest.fail(
+            "campaign artifact diverged from tests/golden/campaign_tiny.json "
+            "(run --update-golden if intentional):\n" + "\n".join(differences)
+        )
+
+
+def test_golden_artifact_parses_and_has_expected_shape():
+    artifact = CampaignArtifact.load(str(GOLDEN_TINY))
+    grid = CampaignGrid.tiny()
+    assert artifact.campaign_seed == grid.seed
+    assert len(artifact.cells) == len(grid.cells())
+    assert artifact.cell_keys == sorted(artifact.cell_keys)
+    # The shape the paper's Table 1 predicts for these rows.
+    rssd_trim = artifact.cell("RSSD/trimming-attack/office-edit/tiny")
+    assert rssd_trim.defended and rssd_trim.recovery_fraction >= 0.99
+    assert rssd_trim.oplog_hash is not None
+    local_trim = artifact.cell("LocalSSD/trimming-attack/office-edit/tiny")
+    assert not local_trim.defended and local_trim.recovery_fraction == 0.0
+
+
+def test_golden_diff_is_field_precise():
+    artifact = CampaignArtifact.load(str(GOLDEN_TINY))
+    tweaked = CampaignArtifact.from_json(artifact.to_json())
+    cell = tweaked.cells[0]
+    tweaked.cells[0] = type(cell)(**{**cell.to_dict(), "recovery_fraction": 0.123})
+    differences = tweaked.diff(artifact)
+    assert len(differences) == 1
+    assert "recovery_fraction" in differences[0]
+    assert artifact.diff(CampaignArtifact.from_json(artifact.to_json())) == []

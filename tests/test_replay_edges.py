@@ -1,0 +1,176 @@
+"""BatchTraceReplayer edge cases, checked against the per-op replayer.
+
+The batched replayer's contract is logical equivalence: after replaying
+the same trace, every live page holds the same content version as under
+per-op replay and the host-side counters match.  These tests pin the
+boundary conditions of the coalescing scan: empty input, single
+records, a run break at every record, and runs crossing the batch-size
+cap.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.sim import SimClock
+from repro.ssd.device import SSD
+from repro.ssd.geometry import SSDGeometry
+from repro.workloads.records import TraceOp, TraceRecord
+from repro.workloads.replay import BatchTraceReplayer, TraceReplayer
+
+
+def fresh_device() -> SSD:
+    return SSD(geometry=SSDGeometry.tiny(), clock=SimClock())
+
+
+def replay_both(records: List[TraceRecord], max_batch_pages: int = 64):
+    """Replay ``records`` per-op and batched on twin devices."""
+    per_op_device, batch_device = fresh_device(), fresh_device()
+    per_op = TraceReplayer(per_op_device, honor_timestamps=False)
+    batched = BatchTraceReplayer(
+        batch_device, honor_timestamps=False, max_batch_pages=max_batch_pages
+    )
+    return (
+        per_op.replay(records),
+        batched.replay(records),
+        per_op_device,
+        batch_device,
+    )
+
+
+def assert_logical_state_equal(left: SSD, right: SSD) -> None:
+    for lba in range(left.capacity_pages):
+        mine = left.read_content(lba)
+        theirs = right.read_content(lba)
+        if mine is None or theirs is None:
+            assert mine is None and theirs is None, lba
+        else:
+            assert mine.fingerprint == theirs.fingerprint, lba
+
+
+def write(lba: int, npages: int = 1, ts: int = 0, stream: int = 0) -> TraceRecord:
+    return TraceRecord(
+        timestamp_us=ts, op=TraceOp.WRITE, lba=lba, npages=npages, stream_id=stream
+    )
+
+
+def read(lba: int, npages: int = 1, ts: int = 0) -> TraceRecord:
+    return TraceRecord(timestamp_us=ts, op=TraceOp.READ, lba=lba, npages=npages)
+
+
+def trim(lba: int, npages: int = 1, ts: int = 0) -> TraceRecord:
+    return TraceRecord(timestamp_us=ts, op=TraceOp.TRIM, lba=lba, npages=npages)
+
+
+def flush(ts: int = 0) -> TraceRecord:
+    return TraceRecord(timestamp_us=ts, op=TraceOp.FLUSH, lba=0, npages=0)
+
+
+class TestEmptyAndSingle:
+    def test_empty_trace(self):
+        per_op, batched, left, right = replay_both([])
+        assert batched.records_replayed == 0
+        assert batched.device_calls == 0
+        assert batched.coalescing_factor == 0.0
+        assert per_op.records_replayed == 0
+        assert_logical_state_equal(left, right)
+
+    @pytest.mark.parametrize(
+        "record",
+        [write(3), write(3, npages=4), read(0), trim(2), flush()],
+        ids=["write", "multi-page-write", "read", "trim", "flush"],
+    )
+    def test_single_record_run(self, record):
+        if record.op in (TraceOp.READ, TraceOp.TRIM):
+            setup = [write(0, npages=8)]
+        else:
+            setup = []
+        per_op, batched, left, right = replay_both(setup + [record])
+        assert batched.records_replayed == per_op.records_replayed
+        assert batched.reads == per_op.reads
+        assert batched.writes == per_op.writes
+        assert batched.trims == per_op.trims
+        assert batched.flushes == per_op.flushes
+        assert batched.pages_written == per_op.pages_written
+        assert batched.pages_read == per_op.pages_read
+        assert batched.pages_trimmed == per_op.pages_trimmed
+        assert_logical_state_equal(left, right)
+
+
+class TestRunBreaks:
+    def test_op_type_alternation_at_every_record(self):
+        """write/read/write/trim/... breaks the run at every record."""
+        records: List[TraceRecord] = []
+        ops = [
+            lambda i: write(i),
+            lambda i: read(i),
+            lambda i: write(i),
+            lambda i: trim(i),
+        ]
+        # Prime the address range so reads/trims touch mapped pages.
+        records.append(write(0, npages=16))
+        for index in range(15):
+            records.append(ops[index % len(ops)](index))
+        per_op, batched, left, right = replay_both(records)
+        # Every record breaks the previous run: zero coalescing.
+        assert batched.device_calls == per_op.device_calls == len(records)
+        assert batched.coalescing_factor == 1.0
+        assert batched.pages_written == per_op.pages_written
+        assert batched.pages_trimmed == per_op.pages_trimmed
+        assert_logical_state_equal(left, right)
+
+    def test_stream_change_breaks_a_contiguous_run(self):
+        records = [write(0, stream=1), write(1, stream=1), write(2, stream=2)]
+        _, batched, left, right = replay_both(records)
+        assert batched.device_calls == 2
+        assert batched.records_replayed == 3
+        assert_logical_state_equal(left, right)
+
+    def test_discontiguous_lbas_break_the_run(self):
+        records = [write(0), write(1), write(5), write(6)]
+        _, batched, left, right = replay_both(records)
+        assert batched.device_calls == 2
+        assert_logical_state_equal(left, right)
+
+
+class TestBatchBoundary:
+    def test_run_crossing_the_batch_size_cap(self):
+        """A 10-record contiguous run with a 4-page cap splits 4/4/2."""
+        records = [write(lba) for lba in range(10)]
+        per_op, batched, left, right = replay_both(records, max_batch_pages=4)
+        assert per_op.device_calls == 10
+        assert batched.device_calls == 3
+        assert batched.records_replayed == 10
+        assert batched.pages_written == per_op.pages_written == 10
+        assert_logical_state_equal(left, right)
+
+    def test_multi_page_record_straddling_the_cap(self):
+        """Merging stops *before* the cap would be exceeded mid-record."""
+        records = [write(0, npages=3), write(3, npages=3), write(6, npages=3)]
+        _, batched, left, right = replay_both(records, max_batch_pages=4)
+        # 3+3 > 4, so every record is its own batch.
+        assert batched.device_calls == 3
+        assert_logical_state_equal(left, right)
+
+    def test_single_record_larger_than_the_cap_is_not_split(self):
+        """The cap bounds merging, not a single oversized host command."""
+        records = [write(0, npages=8)]
+        per_op, batched, left, right = replay_both(records, max_batch_pages=4)
+        assert batched.device_calls == 1
+        assert batched.pages_written == per_op.pages_written == 8
+        assert_logical_state_equal(left, right)
+
+    def test_reads_and_trims_also_respect_the_cap(self):
+        setup = [write(0, npages=16)]
+        reads = [read(lba) for lba in range(8)]
+        trims = [trim(lba) for lba in range(8, 12)]
+        _, batched, left, right = replay_both(setup + reads + trims, max_batch_pages=4)
+        # 1 setup write + ceil(8/4) read batches + ceil(4/4) trim batches.
+        assert batched.device_calls == 1 + 2 + 1
+        assert_logical_state_equal(left, right)
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            BatchTraceReplayer(fresh_device(), max_batch_pages=0)
