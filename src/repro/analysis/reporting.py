@@ -8,6 +8,8 @@ from repro.sim import format_duration
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.campaign.results import CampaignArtifact
+    from repro.forensics.report import ForensicReport
+    from repro.forensics.timeline import OperationTimeline
 
 
 def _stringify(value) -> str:
@@ -117,3 +119,107 @@ def render_campaign_overhead(artifact: "CampaignArtifact") -> str:
         ["cell", "recovered", "detect in", "WA", "wr us", "host cmds", "oplog"],
         rows,
     )
+
+
+def render_campaign_forensics(artifact: "CampaignArtifact") -> str:
+    """Exact forensic / recovery metrics for the cells that have them.
+
+    Returns an empty string when no cell in the artifact was run on a
+    forensics-capable defense (nothing to show).
+    """
+    rows = []
+    for cell in artifact.cells:
+        if cell.forensic_pattern is None:
+            continue
+        rows.append(
+            [
+                cell.cell_key,
+                cell.forensic_pattern,
+                cell.blast_radius_pages if cell.blast_radius_pages is not None else "-",
+                cell.exact_pages_recovered
+                if cell.exact_pages_recovered is not None
+                else "-",
+                cell.exact_pages_lost if cell.exact_pages_lost is not None else "-",
+                "yes" if cell.recovery_exact else "NO",
+                "ok" if not cell.integrity_errors else "; ".join(cell.integrity_errors),
+            ]
+        )
+    if not rows:
+        return ""
+    return format_table(
+        ["cell", "pattern", "blast", "recovered", "lost", "exact", "evidence"],
+        rows,
+    )
+
+
+def render_attack_timeline(
+    report: "ForensicReport", timeline: "OperationTimeline" = None, max_events: int = 20
+) -> str:
+    """Human-readable attack-timeline report for one investigated device.
+
+    The header summarises the evidence chain and the classifier's
+    verdict; when the live ``timeline`` is supplied, the malicious
+    operations inside the attack window are listed, earliest first,
+    truncated to ``max_events`` with the overflow count noted.
+    """
+    lines = [
+        f"Evidence chain: {report.total_entries} entries, "
+        f"{report.sealed_segments} sealed segments "
+        f"({report.offloaded_segments} offloaded)",
+        f"  chain verified: {report.chain_verified}"
+        + (f" (tampered at entry {report.tampered_at})" if report.tampered_at is not None else ""),
+        f"  remote time order: {report.remote_time_order_ok}",
+        "",
+        f"Attack: {report.pattern}",
+    ]
+    if report.attack_found:
+        lines += [
+            f"  first malicious op: sequence {report.first_malicious_sequence} "
+            f"at t={format_duration(report.first_malicious_us)}",
+            f"  window: {format_duration(report.last_malicious_us - report.first_malicious_us)}"
+            f"  streams: {report.malicious_streams}",
+            f"  blast radius: {report.blast_radius_pages} pages "
+            f"({report.blast_radius_bytes} bytes), "
+            f"{report.encrypted_writes} encrypted writes, "
+            f"{report.trimmed_pages} pages trimmed",
+        ]
+    if report.recovery_target_us is not None:
+        lines += [
+            "",
+            f"Point-in-time recovery to t={format_duration(report.recovery_target_us)}:",
+            f"  recovered: {report.pages_recovered} pages "
+            f"({report.pages_recovered_local} local, "
+            f"{report.pages_recovered_remote} remote), "
+            f"{report.pages_unmapped} correctly unmapped",
+            f"  lost: {report.pages_lost} pages"
+            + (f" {report.lost_lbas}" if report.lost_lbas else ""),
+            f"  exact: {report.recovery_exact}",
+        ]
+    if timeline is not None and report.attack_found:
+        events = [
+            event
+            for event in timeline.events_between(
+                report.first_malicious_us, report.last_malicious_us
+            )
+            if event.stream_id in report.malicious_streams and event.destroys_data
+        ]
+        shown = events[:max_events]
+        lines += ["", f"Malicious operations ({len(events)} total):"]
+        lines.append(
+            format_table(
+                ["seq", "t", "op", "lba", "entropy"],
+                [
+                    [
+                        event.sequence,
+                        format_duration(event.timestamp_us),
+                        event.op_type.value,
+                        event.lba,
+                        event.entropy,
+                    ]
+                    for event in shown
+                ],
+            )
+        )
+        if len(events) > len(shown):
+            lines.append(f"  ... {len(events) - len(shown)} more")
+    return "\n".join(lines)

@@ -13,7 +13,7 @@ with per-cell derived seeds; ``run_campaign`` maps cells through the
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 from repro.attacks.base import AttackEnvironment, AttackOutcome, build_environment
@@ -24,13 +24,22 @@ from repro.campaign.runner import ExperimentRunner
 from repro.campaign.seeding import derive_seed
 from repro.defenses.base import Defense
 from repro.defenses.matrix import DEFENDED_THRESHOLD
+from repro.forensics import TraceRecorder, reference_image
 from repro.sim import SimClock
 from repro.ssd.geometry import SSDGeometry
 
 
 @dataclass
 class ScenarioOutcome:
-    """Everything a facade needs to grade one executed scenario."""
+    """Everything a facade needs to grade one executed scenario.
+
+    The forensic fields are populated only for defenses that support
+    forensics (an evidence chain to analyze); ``defense`` keeps the live
+    defense object so callers such as the ``repro recover`` CLI can keep
+    interrogating the scenario after it was scored.  A
+    :class:`ScenarioOutcome` never crosses a process boundary -- workers
+    reduce it to a picklable :class:`~repro.campaign.results.CellResult`.
+    """
 
     attack_outcome: AttackOutcome
     recovery_fraction: float
@@ -45,6 +54,18 @@ class ScenarioOutcome:
     host_commands: int
     flash_pages_programmed: int
     oplog_hash: Optional[str]
+    # -- forensics --------------------------------------------------------
+    exact_pages_recovered: Optional[int] = None
+    exact_pages_lost: Optional[int] = None
+    recovery_exact: Optional[bool] = None
+    forensic_pattern: Optional[str] = None
+    first_malicious_us: Optional[int] = None
+    blast_radius_pages: Optional[int] = None
+    remote_time_order_ok: Optional[bool] = None
+    integrity_errors: List[str] = field(default_factory=list)
+    # -- live scenario objects (in-process consumers only) ----------------
+    defense: Optional[Defense] = None
+    recorder: Optional[TraceRecorder] = None
 
 
 def score_recovery(
@@ -69,6 +90,42 @@ def score_recovery(
     return fraction, recovered
 
 
+def score_forensics(
+    defense: Defense,
+    outcome: AttackOutcome,
+    recorder: Optional[TraceRecorder],
+) -> dict:
+    """Exact post-attack metrics for defenses with an evidence chain.
+
+    Runs the full forensic pipeline -- chain + remote-order verification,
+    attack classification, and a read-only point-in-time rebuild of the
+    pre-attack image -- and checks the rebuilt image page for page
+    against an independent replay of the recorded command-stream prefix.
+    Defenses whose :meth:`~repro.defenses.base.Defense.forensics_engine`
+    returns ``None`` (the capability protocol, shared with the
+    ``repro recover`` CLI) get the all-``None`` defaults.
+    """
+    engine = defense.forensics_engine()
+    if engine is None:
+        return {}
+    status = engine.verify_chain()
+    classification = engine.classify()
+    image = engine.recover_to(outcome.start_us)
+    exact = image.is_exact
+    if recorder is not None:
+        exact = exact and image.matches(reference_image(recorder.ops, outcome.start_us))
+    return {
+        "exact_pages_recovered": image.pages_recovered,
+        "exact_pages_lost": image.pages_lost,
+        "recovery_exact": exact,
+        "forensic_pattern": classification.pattern,
+        "first_malicious_us": classification.first_malicious_us,
+        "blast_radius_pages": classification.blast_radius_pages,
+        "remote_time_order_ok": status.remote_time_order_ok,
+        "integrity_errors": status.errors(),
+    }
+
+
 def execute_scenario(
     defense_factory: Callable[[SSDGeometry, SimClock], Defense],
     attack_factory: Callable[[], object],
@@ -84,6 +141,12 @@ def execute_scenario(
     """Run one (defense, attack, workload) scenario and score it."""
     clock = SimClock()
     defense = defense_factory(geometry, clock)
+    recorder: Optional[TraceRecorder] = None
+    if defense.supports_forensics and hasattr(defense.device, "ssd"):
+        # Ground truth for the exact-recovery check: record the raw host
+        # command stream independently of the hardware evidence chain.
+        recorder = TraceRecorder()
+        defense.device.ssd.add_observer(recorder)  # type: ignore[attr-defined]
     env = build_environment(
         defense.device,
         victim_files=victim_files,
@@ -112,7 +175,12 @@ def execute_scenario(
     device = defense.device
     metrics = device.metrics  # type: ignore[attr-defined]
     oplog = getattr(device, "oplog", None)
+
+    forensics = score_forensics(defense, outcome, recorder)
     return ScenarioOutcome(
+        **forensics,
+        defense=defense,
+        recorder=recorder,
         attack_outcome=outcome,
         recovery_fraction=fraction,
         pages_recovered=recovered,
@@ -134,13 +202,19 @@ def execute_scenario(
     )
 
 
-def run_cell(spec: CellSpec) -> CellResult:
-    """Execute one cell spec (module-level, so process pools can pickle it)."""
+def execute_cell_scenario(spec: CellSpec) -> ScenarioOutcome:
+    """Execute one cell spec and keep the live scenario objects.
+
+    ``run_cell`` reduces the result to a picklable
+    :class:`~repro.campaign.results.CellResult`; the ``repro recover``
+    CLI calls this directly so it can keep interrogating the defense
+    (forensics, recovery) after the cell was scored.
+    """
     defense_factory = registries.DEFENSES[spec.defense]
     attack_builder = registries.ATTACKS[spec.attack]
     workload = registries.WORKLOADS[spec.workload]
     geometry = registries.DEVICE_CONFIGS[spec.device_config]()
-    scenario = execute_scenario(
+    return execute_scenario(
         defense_factory=defense_factory,
         attack_factory=lambda: attack_builder(spec.attack_seed),
         workload=workload,
@@ -152,6 +226,11 @@ def run_cell(spec: CellSpec) -> CellResult:
         user_activity_hours=spec.user_activity_hours,
         recent_edit_fraction=spec.recent_edit_fraction,
     )
+
+
+def run_cell(spec: CellSpec) -> CellResult:
+    """Execute one cell spec (module-level, so process pools can pickle it)."""
+    scenario = execute_cell_scenario(spec)
     outcome = scenario.attack_outcome
     return CellResult(
         cell_key=spec.cell_key,
@@ -176,6 +255,14 @@ def run_cell(spec: CellSpec) -> CellResult:
         env_seed=spec.env_seed,
         workload_seed=spec.workload_seed,
         attack_seed=spec.attack_seed,
+        exact_pages_recovered=scenario.exact_pages_recovered,
+        exact_pages_lost=scenario.exact_pages_lost,
+        recovery_exact=scenario.recovery_exact,
+        forensic_pattern=scenario.forensic_pattern,
+        first_malicious_us=scenario.first_malicious_us,
+        blast_radius_pages=scenario.blast_radius_pages,
+        remote_time_order_ok=scenario.remote_time_order_ok,
+        integrity_errors=list(scenario.integrity_errors),
     )
 
 

@@ -45,6 +45,7 @@ class CellSpec:
         return f"{self.defense}/{self.attack}/{self.workload}/{self.device_config}"
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view of the spec (names and numbers only)."""
         return asdict(self)
 
 

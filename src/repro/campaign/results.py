@@ -16,7 +16,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 #: Bump when the artifact schema changes; readers refuse newer versions.
-ARTIFACT_VERSION = 1
+ARTIFACT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -55,12 +55,36 @@ class CellResult:
     env_seed: int
     workload_seed: int
     attack_seed: int
+    # -- forensics (populated for defenses with ``supports_forensics``;
+    # -- defaults elsewhere, and in version-1 artifacts) -------------------
+    #: Pages the point-in-time rebuild actually produced (exact count,
+    #: not an estimate; ``None`` when the defense has no evidence chain).
+    exact_pages_recovered: Optional[int] = None
+    #: Pages mapped at the recovery target but not producible.
+    exact_pages_lost: Optional[int] = None
+    #: True when the rebuilt pre-attack image matched an independent
+    #: replay of the recorded command-stream prefix page for page.
+    recovery_exact: Optional[bool] = None
+    #: Attack family the forensic classifier identified (e.g.
+    #: ``"encrypt-then-trim"``); ``"none"`` when nothing malicious found.
+    forensic_pattern: Optional[str] = None
+    #: Device time of the first malicious operation in the evidence.
+    first_malicious_us: Optional[int] = None
+    #: Distinct logical pages the attacker wrote or trimmed.
+    blast_radius_pages: Optional[int] = None
+    #: Arrival-order check of the NVMe-oE remote tier.
+    remote_time_order_ok: Optional[bool] = None
+    #: Structured integrity failures (chain mismatch, remote-order
+    #: violation).  Non-empty means the cell's evidence is not trusted.
+    integrity_errors: List[str] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view of the cell (field names preserved verbatim)."""
         return asdict(self)
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "CellResult":
+        """Rebuild a cell; fields newer than the artifact default themselves."""
         return cls(**data)  # type: ignore[arg-type]
 
 
@@ -79,6 +103,7 @@ class CampaignArtifact:
     # -- lookups ----------------------------------------------------------
 
     def cell(self, cell_key: str) -> CellResult:
+        """The result for one cell key (raises ``KeyError`` if absent)."""
         for result in self.cells:
             if result.cell_key == cell_key:
                 return result
@@ -86,11 +111,13 @@ class CampaignArtifact:
 
     @property
     def cell_keys(self) -> List[str]:
+        """All cell keys, in the sorted artifact order."""
         return [result.cell_key for result in self.cells]
 
     # -- serialization ----------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view: version, seed, grid description, sorted cells."""
         return {
             "version": self.version,
             "campaign_seed": self.campaign_seed,
@@ -104,6 +131,7 @@ class CampaignArtifact:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "CampaignArtifact":
+        """Rebuild an artifact, refusing versions newer than this reader."""
         version = int(data.get("version", -1))
         if version > ARTIFACT_VERSION:
             raise ValueError(
@@ -119,14 +147,17 @@ class CampaignArtifact:
 
     @classmethod
     def from_json(cls, text: str) -> "CampaignArtifact":
+        """Parse an artifact from its canonical JSON text."""
         return cls.from_dict(json.loads(text))
 
     def save(self, path: str) -> None:
+        """Write the canonical JSON serialization to ``path``."""
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_json())
 
     @classmethod
     def load(cls, path: str) -> "CampaignArtifact":
+        """Read an artifact previously written with :meth:`save`."""
         with open(path, "r", encoding="utf-8") as handle:
             return cls.from_json(handle.read())
 

@@ -146,6 +146,11 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
         render_campaign_capability(artifact),
         render_campaign_overhead(artifact),
     ]
+    from repro.analysis.reporting import render_campaign_forensics
+
+    forensics_table = render_campaign_forensics(artifact)
+    if forensics_table:
+        sections.append(forensics_table)
     if args.output:
         artifact.save(args.output)
         sections.append(f"artifact written to {args.output}")
@@ -159,6 +164,135 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
             print("\n\n".join(sections))
             raise SystemExit(1)
         sections.append(f"baseline match: {args.baseline}")
+    return "\n\n".join(sections)
+
+
+def _cmd_recover(args: argparse.Namespace) -> str:
+    from repro.analysis.reporting import render_attack_timeline
+    from repro.campaign.engine import execute_cell_scenario
+    from repro.campaign.grid import CampaignGrid
+    from repro.forensics import reference_image
+    from repro.sim import format_duration
+
+    if args.apply and args.to is None:
+        raise SystemExit("--apply only makes sense with --to (nothing was applied)")
+    grid = CampaignGrid.tiny() if args.grid == "tiny" else CampaignGrid()
+    matches = [spec for spec in grid.cells() if spec.cell_key == args.cell]
+    if not matches:
+        known = "\n  ".join(spec.cell_key for spec in grid.cells())
+        raise SystemExit(f"unknown cell {args.cell!r}; cells in this grid:\n  {known}")
+    scenario = execute_cell_scenario(matches[0])
+    defense = scenario.defense
+    if not hasattr(defense, "forensics_engine"):
+        raise SystemExit(
+            f"cell {args.cell!r} runs on {defense.name}, which has no evidence "
+            "chain; forensics and recovery need an RSSD cell"
+        )
+    engine = defense.forensics_engine()
+    outcome = scenario.attack_outcome
+    sections = [
+        f"Scenario: {args.cell} (campaign seed {grid.seed}); attack ran "
+        f"{format_duration(outcome.start_us)} -> {format_duration(outcome.end_us)}"
+    ]
+
+    if args.list_snapshots:
+        snapshots = engine.snapshots()
+        sections.append(
+            format_table(
+                ["kind", "segment", "last seq", "timestamp", "entries", "offloaded"],
+                [
+                    [
+                        snap.kind,
+                        snap.segment_id if snap.segment_id is not None else "-",
+                        snap.last_sequence,
+                        format_duration(snap.timestamp_us),
+                        snap.entries,
+                        snap.offloaded,
+                    ]
+                    for snap in snapshots
+                ],
+            )
+        )
+        sections.append(
+            f"{len(snapshots)} recoverable points; any timestamp up to "
+            f"{format_duration(engine.timeline.events[-1].timestamp_us)} is a "
+            "valid --to target" if engine.timeline.events else "empty log"
+        )
+        return "\n\n".join(sections)
+
+    if args.verify_chain:
+        status = engine.verify_chain()
+        sections.append(
+            "\n".join(
+                [
+                    f"entries:            {status.total_entries}",
+                    f"sealed segments:    {status.sealed_segments} "
+                    f"({status.offloaded_segments} offloaded)",
+                    f"chain verified:     {status.chain_verified}",
+                    f"remote time order:  {status.remote_time_order_ok}",
+                    f"trustworthy:        {status.trustworthy}",
+                ]
+            )
+        )
+        errors = status.errors()
+        if errors:
+            sections.append("INTEGRITY ERRORS:\n" + "\n".join(errors))
+            print("\n\n".join(sections))
+            raise SystemExit(1)
+        return "\n\n".join(sections)
+
+    if args.to is not None:
+        if args.to == "pre-attack":
+            target_us = outcome.start_us
+        else:
+            try:
+                target_us = int(args.to)
+            except ValueError:
+                raise SystemExit(
+                    f"--to must be an integer microsecond timestamp or "
+                    f"'pre-attack', got {args.to!r}"
+                )
+        image = engine.recover_to(target_us, simulate_fetch=True)
+        report = engine.investigate(image=image)
+        sections.append(render_attack_timeline(report, engine.timeline))
+        reference = reference_image(scenario.recorder.ops, target_us)
+        # Same bar as campaign recovery_exact: every page hash-verified
+        # AND the image equal to the independent trace-prefix replay.
+        exact = image.is_exact and image.matches(reference)
+        if exact:
+            verdict = "MATCHES exactly"
+        elif image.matches(reference):
+            verdict = (
+                f"matches by coverage only ({len(image.unverified)} pages "
+                "recovered without a pinned hash)"
+            )
+        else:
+            verdict = "DIVERGES"
+        sections.append(
+            f"reference replay of the trace prefix (<= t={target_us}): "
+            f"{len(reference)} pages; rebuilt image {verdict}"
+        )
+        sections.append(
+            f"recovery transfer time: {format_duration(int(image.duration_us))}"
+        )
+        if not exact:
+            if args.apply:
+                sections.append(
+                    "refusing --apply: the rebuilt image is not exact; the "
+                    "device was left untouched"
+                )
+            print("\n\n".join(sections))
+            raise SystemExit(1)
+        if args.apply:
+            written = engine.recovery().apply(image)
+            sections.append(f"applied: {written} pages written back to the device")
+        return "\n\n".join(sections)
+
+    # Default action: the full forensic report (canonical JSON + summary).
+    report = engine.investigate()
+    sections.append(render_attack_timeline(report, engine.timeline))
+    if args.json:
+        sections.append(report.to_json().rstrip("\n"))
     return "\n\n".join(sections)
 
 
@@ -268,6 +402,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="diff against a stored artifact; exit 1 on any difference",
     )
     campaign.set_defaults(func=_cmd_campaign)
+
+    recover = subparsers.add_parser(
+        "recover",
+        help="Post-attack forensics and point-in-time recovery on a campaign cell",
+        description=(
+            "Re-execute one campaign cell deterministically, then analyze the "
+            "attack from the device's hardware evidence chain: list recoverable "
+            "snapshots, verify the chain, classify the attack, and rebuild the "
+            "device image as of any timestamp with exact recovered/lost page "
+            "sets (checked against an independent replay of the recorded "
+            "command stream)."
+        ),
+    )
+    recover.add_argument(
+        "--cell", default="RSSD/classic/office-edit/tiny",
+        help="campaign cell key to investigate (defense/attack/workload/device)",
+    )
+    recover.add_argument(
+        "--grid", choices=["default", "tiny"], default="tiny",
+        help="grid the cell comes from (tiny = the golden-run grid)",
+    )
+    recover_mode = recover.add_mutually_exclusive_group()
+    recover_mode.add_argument(
+        "--list-snapshots", action="store_true",
+        help="list the recoverable points in the evidence chain and exit",
+    )
+    recover_mode.add_argument(
+        "--verify-chain", action="store_true",
+        help="verify the hash chain and remote arrival order; exit 1 on failure",
+    )
+    recover_mode.add_argument(
+        "--to", default=None, metavar="TIMESTAMP",
+        help="rebuild the device image as of this microsecond timestamp "
+             "(or 'pre-attack'); exit 1 if the rebuild is not exact",
+    )
+    recover.add_argument(
+        "--apply", action="store_true",
+        help="with --to: write the rebuilt image back to the device",
+    )
+    recover.add_argument(
+        "--json", action="store_true",
+        help="append the canonical JSON forensic report to the output",
+    )
+    recover.set_defaults(func=_cmd_recover)
 
     fleet = subparsers.add_parser(
         "fleet", help="Replay a synthetic trace against a fleet of devices"

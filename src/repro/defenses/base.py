@@ -95,6 +95,17 @@ class Defense(ABC):
         """A verified record of operations, if the defense supports forensics."""
         return None
 
+    def forensics_engine(self) -> Optional[object]:
+        """The post-attack analysis service, if the defense supports one.
+
+        Defenses with ``supports_forensics`` return a
+        :class:`repro.forensics.engine.ForensicsEngine`-compatible
+        object; everything else returns ``None``.  This is the single
+        capability probe the campaign engine and the ``repro recover``
+        CLI share.
+        """
+        return None
+
 
 class SoftwareDefense(Defense):
     """Base for host-resident defenses: a plain SSD plus host-side state.

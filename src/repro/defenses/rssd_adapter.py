@@ -77,4 +77,17 @@ class RSSDDefense(Defense):
         return None
 
     def forensic_report(self):
+        """The legacy evidence-chain summary (see :meth:`forensics_engine`)."""
         return self.rssd.investigate()
+
+    def forensics_engine(self):
+        """The full post-attack analysis and point-in-time recovery service.
+
+        Returns a :class:`~repro.forensics.engine.ForensicsEngine` bound
+        to this defense's device; campaign cells and the ``repro
+        recover`` CLI use it to produce exact recovery metrics and the
+        attack-timeline report.
+        """
+        from repro.forensics import ForensicsEngine
+
+        return ForensicsEngine(self.rssd)

@@ -1,0 +1,49 @@
+"""Post-attack forensics and point-in-time recovery.
+
+This package turns the raw evidence RSSD accumulates during normal
+operation -- the hardware operation log (:mod:`repro.core.oplog`), the
+retention archive (:mod:`repro.core.retention`) and the NVMe-oE remote
+tier (:mod:`repro.nvmeoe.remote`) -- into the three concrete artifacts
+the paper's post-attack analysis promises:
+
+1. a **per-LBA operation timeline** with hash-chain verification
+   (:mod:`repro.forensics.timeline`),
+2. an **attack classification**: which attack pattern ran, its first
+   malicious operation and its blast radius
+   (:mod:`repro.forensics.classify`), and
+3. **point-in-time recovery**: the exact device image as of any
+   timestamp, with precise recovered / lost page sets instead of an
+   estimated recovery fraction (:mod:`repro.forensics.pitr`).
+
+:class:`~repro.forensics.engine.ForensicsEngine` is the facade that
+binds the three to a live RSSD device; campaign cells, the
+``repro recover`` CLI and the golden forensic report all go through it.
+"""
+
+from repro.forensics.classify import AttackClassification, classify_attack
+from repro.forensics.engine import ChainStatus, ForensicsEngine
+from repro.forensics.pitr import (
+    PointInTimeRecovery,
+    RecoveredImage,
+    Snapshot,
+    TraceRecorder,
+    reference_image,
+)
+from repro.forensics.report import ForensicReport
+from repro.forensics.timeline import LBAHistory, OperationTimeline, TimelineEvent
+
+__all__ = [
+    "AttackClassification",
+    "ChainStatus",
+    "ForensicReport",
+    "ForensicsEngine",
+    "LBAHistory",
+    "OperationTimeline",
+    "PointInTimeRecovery",
+    "RecoveredImage",
+    "Snapshot",
+    "TimelineEvent",
+    "TraceRecorder",
+    "classify_attack",
+    "reference_image",
+]

@@ -1,0 +1,111 @@
+"""The combined forensic report: evidence, verdict, recovery outcome.
+
+:class:`ForensicReport` is the single JSON-serializable artifact the
+``repro recover`` CLI prints, the campaign engine summarises into
+:class:`~repro.campaign.results.CellResult` fields, and the golden test
+pins bit-for-bit.  Serialization is canonical (sorted keys, fixed
+indentation, trailing newline) for the same reason campaign artifacts
+are: byte equality is the regression test.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.forensics.classify import AttackClassification
+
+#: Bump when the report schema changes; readers refuse newer versions.
+REPORT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ForensicReport:
+    """Everything post-attack analysis concluded about one device."""
+
+    # -- evidence chain ---------------------------------------------------
+    total_entries: int
+    sealed_segments: int
+    offloaded_segments: int
+    chain_verified: bool
+    tampered_at: Optional[int]
+    #: Arrival-order check of the remote tier; ``None`` when the device
+    #: has no remote tier attached.
+    remote_time_order_ok: Optional[bool]
+    # -- timeline ---------------------------------------------------------
+    lbas_touched: int
+    gc_relocations: int
+    timeline_span_us: int
+    # -- classification ---------------------------------------------------
+    pattern: str
+    malicious_streams: List[int]
+    first_malicious_sequence: Optional[int]
+    first_malicious_us: Optional[int]
+    last_malicious_us: Optional[int]
+    blast_radius_pages: int
+    blast_radius_bytes: int
+    encrypted_writes: int
+    trimmed_pages: int
+    # -- point-in-time recovery -------------------------------------------
+    recovery_target_us: Optional[int]
+    pages_recovered_local: int
+    pages_recovered_remote: int
+    pages_unverified: int
+    pages_lost: int
+    pages_unmapped: int
+    recovery_exact: bool
+    #: Small enough to keep verbatim; non-empty means data loss.
+    lost_lbas: List[int] = field(default_factory=list)
+    version: int = REPORT_VERSION
+
+    @property
+    def pages_recovered(self) -> int:
+        """Pages recovered from either tier."""
+        return self.pages_recovered_local + self.pages_recovered_remote
+
+    @property
+    def attack_found(self) -> bool:
+        """Whether the classifier identified malicious activity."""
+        return self.pattern != "none"
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view of the report."""
+        return asdict(self)
+
+    def to_json(self) -> str:
+        """Canonical serialization: stable key order, trailing newline."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ForensicReport":
+        """Rebuild a report, refusing versions newer than this reader."""
+        version = int(data.get("version", -1))
+        if version > REPORT_VERSION:
+            raise ValueError(
+                f"forensic report version {version} is newer than supported "
+                f"version {REPORT_VERSION}"
+            )
+        return cls(**data)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_json(cls, text: str) -> "ForensicReport":
+        """Parse a report from its canonical JSON text."""
+        return cls.from_dict(json.loads(text))
+
+
+def classification_fields(classification: AttackClassification) -> Dict[str, object]:
+    """The report fields contributed by an attack classification."""
+    return {
+        "pattern": classification.pattern,
+        "malicious_streams": list(classification.malicious_streams),
+        "first_malicious_sequence": classification.first_malicious_sequence,
+        "first_malicious_us": classification.first_malicious_us,
+        "last_malicious_us": classification.last_malicious_us,
+        "blast_radius_pages": classification.blast_radius_pages,
+        "blast_radius_bytes": classification.blast_radius_bytes,
+        "encrypted_writes": classification.encrypted_writes,
+        "trimmed_pages": classification.trimmed_pages,
+    }

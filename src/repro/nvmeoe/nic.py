@@ -34,6 +34,7 @@ class FirmwareToken:
 
     @property
     def nic_id(self) -> int:
+        """Identity of the NIC this token authorises."""
         return self._nic_id
 
 

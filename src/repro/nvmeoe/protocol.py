@@ -94,10 +94,12 @@ class NVMeOEProtocol:
 
     @property
     def capsules_sent(self) -> int:
+        """Total capsules built by this protocol instance."""
         return len(self._sent)
 
     @property
     def history(self) -> List[Capsule]:
+        """Every capsule built so far, in build order."""
         return list(self._sent)
 
     def _next(self, capsule: Capsule) -> Capsule:

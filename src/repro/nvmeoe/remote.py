@@ -51,14 +51,17 @@ class ObjectStore:
 
     @property
     def object_count(self) -> int:
+        """Number of stored objects."""
         return len(self._objects)
 
     @property
     def stored_bytes(self) -> int:
+        """Total payload bytes stored (exact, O(1))."""
         return self._stored_bytes
 
     @property
     def stored_entries(self) -> int:
+        """Total log/page entries across stored objects."""
         return self._stored_entries
 
     def put_capsule(self, capsule: Capsule, arrival_us: float) -> RemoteObject:
@@ -82,6 +85,7 @@ class ObjectStore:
         return obj
 
     def get(self, key: str) -> RemoteObject:
+        """Fetch one stored object by key."""
         if key not in self._objects:
             raise RemoteTargetError(f"object {key} not found")
         return self._objects[key]
@@ -124,18 +128,22 @@ class StorageServer:
 
     @property
     def stored_bytes(self) -> int:
+        """Total payload bytes appended (exact, O(1))."""
         return self._stored_bytes
 
     @property
     def stored_entries(self) -> int:
+        """Total log/page entries across appended segments."""
         return self._stored_entries
 
     @property
     def free_bytes(self) -> int:
+        """Remaining capacity in bytes."""
         return self.capacity_bytes - self.stored_bytes
 
     @property
     def segment_count(self) -> int:
+        """Number of appended segments."""
         return len(self._segments)
 
     def append_capsule(self, capsule: Capsule, arrival_us: float) -> RemoteObject:
@@ -160,6 +168,7 @@ class StorageServer:
         return segment
 
     def segments(self) -> List[RemoteObject]:
+        """All segments in append order."""
         return list(self._segments)
 
     def verify_time_order(self) -> bool:
@@ -183,10 +192,12 @@ class TieredRemote:
 
     @property
     def stored_bytes(self) -> int:
+        """Bytes stored across both tiers."""
         return self.server.stored_bytes + self.cloud.stored_bytes
 
     @property
     def stored_entries(self) -> int:
+        """Entries stored across both tiers."""
         return self.server.stored_entries + self.cloud.stored_entries
 
     def store_capsule(self, capsule: Capsule, arrival_us: float) -> RemoteObject:
@@ -197,4 +208,5 @@ class TieredRemote:
             return self.cloud.put_capsule(capsule, arrival_us)
 
     def verify_time_order(self) -> bool:
+        """Arrival-order check over both tiers (the evidence-chain guarantee)."""
         return self.server.verify_time_order() and self.cloud.verify_time_order()
