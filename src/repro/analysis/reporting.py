@@ -8,6 +8,7 @@ from repro.sim import format_duration
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.campaign.results import CampaignArtifact
+    from repro.campaign.roc import RocArtifact
     from repro.forensics.report import ForensicReport
     from repro.forensics.timeline import OperationTimeline
 
@@ -148,6 +149,73 @@ def render_campaign_forensics(artifact: "CampaignArtifact") -> str:
         return ""
     return format_table(
         ["cell", "pattern", "blast", "recovered", "lost", "exact", "evidence"],
+        rows,
+    )
+
+
+def render_detection_roc(artifact: "RocArtifact") -> str:
+    """The full ROC point table of a detection-quality artifact.
+
+    One row per (cell, detector, threshold): confusion counts plus the
+    TPR/FPR trade-off at that threshold.  This is the raw material the
+    quality summary (:func:`render_detection_quality`) condenses.
+    """
+    rows = []
+    for curve in artifact.curves:
+        for point in curve.points:
+            rows.append(
+                [
+                    curve.cell_key,
+                    curve.detector,
+                    point.threshold,
+                    point.true_positives,
+                    point.false_positives,
+                    point.true_negatives,
+                    point.false_negatives,
+                    point.true_positive_rate,
+                    point.false_positive_rate,
+                ]
+            )
+    return format_table(
+        ["cell", "detector", "thresh", "TP", "FP", "TN", "FN", "TPR", "FPR"],
+        rows,
+    )
+
+
+def render_detection_quality(artifact: "RocArtifact") -> str:
+    """Per-(cell, detector) quality summary of a detection-quality artifact.
+
+    AUC over the whole sweep, the operating point at the deployed
+    default threshold, and whether the cell's actual defense flagged
+    the scenario at all -- the column that shows an evasive attack
+    beating the shipped detector while the swept primitive would have
+    caught it (or not).
+    """
+    rows = []
+    for curve in artifact.curves:
+        rows.append(
+            [
+                curve.cell_key,
+                curve.detector,
+                curve.samples,
+                curve.auc,
+                curve.default_threshold,
+                curve.tpr_at_default,
+                curve.fpr_at_default,
+                "yes" if curve.defense_detected else "no",
+            ]
+        )
+    return format_table(
+        [
+            "cell",
+            "detector",
+            "writes",
+            "AUC",
+            "default",
+            "TPR@default",
+            "FPR@default",
+            "defense detected",
+        ],
         rows,
     )
 

@@ -13,8 +13,22 @@ On top of the classic model the package implements the three
   and outlive bounded retention windows.
 * :class:`TrimmingAttack` -- uses the trim command to physically erase
   the original copies of encrypted data.
+
+Beyond the paper's families, :mod:`repro.attacks.adaptive` adds the
+*detection-aware* attackers -- entropy mimicry, intermittent (partial)
+encryption, computed-dilution pacing and trim interleaving -- that the
+detection-quality (ROC) pipeline scores defenses against.
 """
 
+from repro.attacks.adaptive import (
+    AdaptiveAttack,
+    EntropyMimicryAttack,
+    EvasionPolicy,
+    IntermittentEncryptionAttack,
+    RateThrottledAttack,
+    TrimInterleavedWipeAttack,
+    shape_entropy,
+)
 from repro.attacks.base import (
     AttackEnvironment,
     AttackOutcome,
@@ -29,15 +43,22 @@ from repro.attacks.trimming_attack import TrimmingAttack
 
 __all__ = [
     "ATTACK_PROFILES",
+    "AdaptiveAttack",
     "AttackEnvironment",
     "AttackOutcome",
     "AttackProfile",
     "ClassicRansomware",
     "DestructionMode",
+    "EntropyMimicryAttack",
+    "EvasionPolicy",
     "GCAttack",
+    "IntermittentEncryptionAttack",
     "RansomwareAttack",
+    "RateThrottledAttack",
     "TimingAttack",
+    "TrimInterleavedWipeAttack",
     "TrimmingAttack",
     "build_environment",
     "make_attack",
+    "shape_entropy",
 ]

@@ -38,10 +38,12 @@ class AttackEnvironment:
 
     @property
     def attacker_stream(self) -> int:
+        """Stream id the attacker's destructive I/O is tagged with."""
         return self.attacker_process.stream_id
 
     @property
     def user_stream(self) -> int:
+        """Stream id of the benign user workload."""
         return self.user_process.stream_id
 
 
@@ -100,10 +102,12 @@ class AttackOutcome:
 
     @property
     def duration_us(self) -> int:
+        """Length of the attack in simulated microseconds."""
         return max(0, self.end_us - self.start_us)
 
     @property
     def victim_page_count(self) -> int:
+        """Distinct logical pages that held victim data pre-attack."""
         return len(self.victim_lbas)
 
 

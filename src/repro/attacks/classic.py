@@ -52,6 +52,7 @@ class ClassicRansomware(RansomwareAttack):
         self.inter_file_delay_us = inter_file_delay_us
 
     def execute(self, env: AttackEnvironment) -> AttackOutcome:
+        """Encrypt every victim file, destroying originals per ``destruction``."""
         outcome = AttackOutcome(
             attack_name=self.name,
             start_us=env.clock.now_us,

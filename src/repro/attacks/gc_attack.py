@@ -43,6 +43,7 @@ class GCAttack(RansomwareAttack):
         )
 
     def execute(self, env: AttackEnvironment) -> AttackOutcome:
+        """Encrypt the victim files, then flood capacity to force GC."""
         # The capacity flood draws from self.rng without going through
         # _capture_originals (the inner encryptor does that on itself).
         self.bind_environment_rng(env)

@@ -43,6 +43,7 @@ class TimingAttack(RansomwareAttack):
         self.camouflage_writes_per_batch = camouflage_writes_per_batch
 
     def execute(self, env: AttackEnvironment) -> AttackOutcome:
+        """Encrypt in small paced batches hidden behind camouflage I/O."""
         outcome = AttackOutcome(
             attack_name=self.name,
             start_us=env.clock.now_us,

@@ -27,6 +27,7 @@ class TrimmingAttack(RansomwareAttack):
         self.inter_file_delay_us = inter_file_delay_us
 
     def execute(self, env: AttackEnvironment) -> AttackOutcome:
+        """Encrypt to new files, then trim each original extent away."""
         outcome = AttackOutcome(
             attack_name=self.name,
             start_us=env.clock.now_us,

@@ -16,6 +16,14 @@ The capability matrix (``repro.defenses.matrix``) and the fleet runner
 from repro.campaign.engine import run_campaign, run_cell
 from repro.campaign.grid import CampaignGrid, CellSpec
 from repro.campaign.results import ARTIFACT_VERSION, CampaignArtifact, CellResult
+from repro.campaign.roc import (
+    ROC_ARTIFACT_VERSION,
+    RocArtifact,
+    RocCurve,
+    RocPoint,
+    run_roc,
+    run_roc_cell,
+)
 from repro.campaign.runner import ExperimentRunner
 from repro.campaign.seeding import derive_seed
 
@@ -26,7 +34,13 @@ __all__ = [
     "CellResult",
     "CellSpec",
     "ExperimentRunner",
+    "ROC_ARTIFACT_VERSION",
+    "RocArtifact",
+    "RocCurve",
+    "RocPoint",
     "derive_seed",
     "run_campaign",
     "run_cell",
+    "run_roc",
+    "run_roc_cell",
 ]

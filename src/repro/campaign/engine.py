@@ -137,8 +137,15 @@ def execute_scenario(
     workload_rng: random.Random,
     user_activity_hours: float,
     recent_edit_fraction: float,
+    observers: Optional[Sequence[object]] = None,
 ) -> ScenarioOutcome:
-    """Run one (defense, attack, workload) scenario and score it."""
+    """Run one (defense, attack, workload) scenario and score it.
+
+    ``observers`` are extra passive ``IOObserver`` objects attached to
+    the raw SSD before any traffic runs (the detection-quality pipeline
+    uses this to capture the labelled write stream); they must not
+    perturb the scenario.
+    """
     clock = SimClock()
     defense = defense_factory(geometry, clock)
     recorder: Optional[TraceRecorder] = None
@@ -147,6 +154,9 @@ def execute_scenario(
         # command stream independently of the hardware evidence chain.
         recorder = TraceRecorder()
         defense.device.ssd.add_observer(recorder)  # type: ignore[attr-defined]
+    for observer in observers or ():
+        raw_device = getattr(defense.device, "ssd", defense.device)
+        raw_device.add_observer(observer)  # type: ignore[attr-defined]
     env = build_environment(
         defense.device,
         victim_files=victim_files,
@@ -202,19 +212,23 @@ def execute_scenario(
     )
 
 
-def execute_cell_scenario(spec: CellSpec) -> ScenarioOutcome:
+def execute_cell_scenario(
+    spec: CellSpec, observers: Optional[Sequence[object]] = None
+) -> ScenarioOutcome:
     """Execute one cell spec and keep the live scenario objects.
 
     ``run_cell`` reduces the result to a picklable
     :class:`~repro.campaign.results.CellResult`; the ``repro recover``
     CLI calls this directly so it can keep interrogating the defense
-    (forensics, recovery) after the cell was scored.
+    (forensics, recovery) after the cell was scored.  ``observers`` are
+    forwarded to :func:`execute_scenario`.
     """
     defense_factory = registries.DEFENSES[spec.defense]
     attack_builder = registries.ATTACKS[spec.attack]
     workload = registries.WORKLOADS[spec.workload]
     geometry = registries.DEVICE_CONFIGS[spec.device_config]()
     return execute_scenario(
+        observers=observers,
         defense_factory=defense_factory,
         attack_factory=lambda: attack_builder(spec.attack_seed),
         workload=workload,

@@ -115,6 +115,45 @@ class CampaignGrid:
             seed=71,
         )
 
+    @classmethod
+    def evasion_tiny(cls) -> "CampaignGrid":
+        """The CI-sized detection-quality grid: adaptive attacks against
+        an entropy-window defense, a firmware detector and RSSD."""
+        return cls(
+            defenses=["LocalSSD", "SSDInsider", "RSSD"],
+            attacks=list(registries.EVASIVE_ATTACKS),
+            workloads=["office-edit"],
+            device_configs=["tiny"],
+            victim_files=8,
+            file_size_bytes=8192,
+            user_activity_hours=4.0,
+            recent_edit_fraction=0.3,
+            seed=83,
+        )
+
+    @classmethod
+    def evasion_full(cls) -> "CampaignGrid":
+        """The nightly detection-quality sweep: every evasion-strength
+        variant against every detection-capable defense row."""
+        return cls(
+            defenses=[
+                "LocalSSD",
+                "Unveil",
+                "CryptoDrop",
+                "ShieldFS",
+                "SSDInsider",
+                "RSSD",
+            ],
+            attacks=list(registries.EVASIVE_ATTACKS_FULL),
+            workloads=["office-edit"],
+            device_configs=["tiny"],
+            victim_files=12,
+            file_size_bytes=8192,
+            user_activity_hours=8.0,
+            recent_edit_fraction=0.3,
+            seed=83,
+        )
+
     def cells(self, filters: Optional[Sequence[str]] = None) -> List[CellSpec]:
         """Expand the grid (defense-major order) into seeded cell specs."""
         specs: List[CellSpec] = []

@@ -14,6 +14,13 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List
 
+from repro.attacks.adaptive import (
+    EntropyMimicryAttack,
+    EvasionPolicy,
+    IntermittentEncryptionAttack,
+    RateThrottledAttack,
+    TrimInterleavedWipeAttack,
+)
 from repro.attacks.base import AttackEnvironment, RansomwareAttack
 from repro.attacks.classic import ClassicRansomware, DestructionMode
 from repro.attacks.gc_attack import GCAttack
@@ -74,10 +81,42 @@ ATTACKS: Dict[str, AttackBuilder] = {
     "gc-attack": lambda seed: GCAttack(seed=seed),
     "timing-attack": lambda seed: TimingAttack(seed=seed),
     "trimming-attack": lambda seed: TrimmingAttack(seed=seed),
+    # -- adaptive (detection-aware) family; the suffix-less names run the
+    # -- light policy, the suffixed variants are the evasion-strength axis.
+    "entropy-mimicry": lambda seed: EntropyMimicryAttack(seed=seed),
+    "entropy-mimicry-strong": lambda seed: EntropyMimicryAttack(
+        policy=EvasionPolicy.strong(), seed=seed
+    ),
+    "intermittent-encrypt": lambda seed: IntermittentEncryptionAttack(seed=seed),
+    "intermittent-encrypt-sparse": lambda seed: IntermittentEncryptionAttack(
+        policy=EvasionPolicy.strong(), seed=seed
+    ),
+    "low-slow-v2": lambda seed: RateThrottledAttack(seed=seed),
+    "low-slow-v2-strong": lambda seed: RateThrottledAttack(
+        policy=EvasionPolicy.strong(), seed=seed
+    ),
+    "trim-interleave": lambda seed: TrimInterleavedWipeAttack(seed=seed),
 }
 
 #: The four attack columns the paper's Table 1 scores.
 DEFAULT_ATTACKS: List[str] = ["classic", "gc-attack", "timing-attack", "trimming-attack"]
+
+#: The adaptive-attack columns the detection-quality (ROC) pipeline
+#: scores by default; the ``-strong`` / ``-sparse`` registry variants
+#: extend the sweep along the evasion-strength axis.
+EVASIVE_ATTACKS: List[str] = [
+    "entropy-mimicry",
+    "intermittent-encrypt",
+    "low-slow-v2",
+    "trim-interleave",
+]
+
+#: Every evasion-strength variant, for the nightly full sweep.
+EVASIVE_ATTACKS_FULL: List[str] = EVASIVE_ATTACKS + [
+    "entropy-mimicry-strong",
+    "intermittent-encrypt-sparse",
+    "low-slow-v2-strong",
+]
 
 # ---------------------------------------------------------------------------
 # Pre-attack workload generators

@@ -8,6 +8,7 @@ Examples::
     python -m repro lifetime --volumes hm src
     python -m repro recovery
     python -m repro forensics
+    python -m repro roc --grid tiny
     python -m repro ablation-offload
     python -m repro ablation-trim
     python -m repro ablation-detection
@@ -106,36 +107,67 @@ def _cmd_ablation_detection(args: argparse.Namespace) -> str:
     )
 
 
+def _grid_with_overrides(grid, pairs) -> object:
+    """Apply non-``None`` CLI override values onto a campaign grid.
+
+    ``replace()`` re-runs ``__post_init__``, so unknown names and
+    invalid sizes fail fast here instead of deep inside a pool worker.
+    """
+    import dataclasses
+
+    overrides = {name: value for name, value in pairs if value is not None}
+    return dataclasses.replace(grid, **overrides) if overrides else grid
+
+
+def _resolve_backend(args: argparse.Namespace) -> str:
+    """Pick the concrete backend for ``auto`` (process pool unless --jobs 1)."""
+    if args.backend == "auto":
+        return "process" if args.jobs != 1 else "sequential"
+    return args.backend
+
+
+def _save_and_check_baseline(sections, artifact, args) -> str:
+    """Shared artifact tail of `campaign` / `roc`: --output and --baseline.
+
+    Appends the save/compare outcome to ``sections`` and returns the
+    joined output; a baseline mismatch prints everything and exits 1.
+    """
+    if args.output:
+        artifact.save(args.output)
+        sections.append(f"artifact written to {args.output}")
+    if args.baseline:
+        baseline = type(artifact).load(args.baseline)
+        differences = artifact.diff(baseline)
+        if differences:
+            sections.append(
+                f"BASELINE MISMATCH vs {args.baseline}:\n" + "\n".join(differences)
+            )
+            print("\n\n".join(sections))
+            raise SystemExit(1)
+        sections.append(f"baseline match: {args.baseline}")
+    return "\n\n".join(sections)
+
+
 def _cmd_campaign(args: argparse.Namespace) -> str:
     from repro.analysis.reporting import (
         render_campaign_capability,
+        render_campaign_forensics,
         render_campaign_overhead,
     )
-    from repro.campaign import CampaignArtifact, CampaignGrid, run_campaign
+    from repro.campaign import CampaignGrid, run_campaign
 
-    import dataclasses
-
-    grid = CampaignGrid.tiny() if args.grid == "tiny" else CampaignGrid()
-    overrides = {
-        name: value
-        for name, value in (
+    grid = _grid_with_overrides(
+        CampaignGrid.tiny() if args.grid == "tiny" else CampaignGrid(),
+        (
             ("defenses", args.defenses),
             ("attacks", args.attacks),
             ("workloads", args.workloads),
             ("device_configs", args.device_configs),
             ("seed", args.seed),
             ("victim_files", args.victim_files),
-        )
-        if value is not None
-    }
-    if overrides:
-        # replace() re-runs __post_init__, so unknown names and invalid
-        # sizes fail fast here instead of deep inside a pool worker.
-        grid = dataclasses.replace(grid, **overrides)
-
-    backend = args.backend
-    if backend == "auto":
-        backend = "process" if args.jobs != 1 else "sequential"
+        ),
+    )
+    backend = _resolve_backend(args)
     artifact = run_campaign(
         grid, backend=backend, jobs=args.jobs, filters=args.filter
     )
@@ -146,25 +178,42 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
         render_campaign_capability(artifact),
         render_campaign_overhead(artifact),
     ]
-    from repro.analysis.reporting import render_campaign_forensics
-
     forensics_table = render_campaign_forensics(artifact)
     if forensics_table:
         sections.append(forensics_table)
-    if args.output:
-        artifact.save(args.output)
-        sections.append(f"artifact written to {args.output}")
-    if args.baseline:
-        baseline = CampaignArtifact.load(args.baseline)
-        differences = artifact.diff(baseline)
-        if differences:
-            sections.append(
-                f"BASELINE MISMATCH vs {args.baseline}:\n" + "\n".join(differences)
-            )
-            print("\n\n".join(sections))
-            raise SystemExit(1)
-        sections.append(f"baseline match: {args.baseline}")
-    return "\n\n".join(sections)
+    return _save_and_check_baseline(sections, artifact, args)
+
+
+def _cmd_roc(args: argparse.Namespace) -> str:
+    from repro.analysis.reporting import (
+        render_detection_quality,
+        render_detection_roc,
+    )
+    from repro.campaign import CampaignGrid, run_roc
+
+    grid = _grid_with_overrides(
+        CampaignGrid.evasion_tiny()
+        if args.grid == "tiny"
+        else CampaignGrid.evasion_full(),
+        (
+            ("defenses", args.defenses),
+            ("attacks", args.attacks),
+            ("seed", args.seed),
+            ("victim_files", args.victim_files),
+        ),
+    )
+    backend = _resolve_backend(args)
+    artifact = run_roc(grid, backend=backend, jobs=args.jobs, filters=args.filter)
+
+    sections = [
+        f"Detection quality: {len(artifact.curves)} ROC curves over "
+        f"{len({c.cell_key for c in artifact.curves})} cells, seed {grid.seed}, "
+        f"backend {backend}, jobs {args.jobs or 'auto'}",
+        render_detection_quality(artifact),
+    ]
+    if not args.quality_only:
+        sections.append(render_detection_roc(artifact))
+    return _save_and_check_baseline(sections, artifact, args)
 
 
 def _cmd_recover(args: argparse.Namespace) -> str:
@@ -402,6 +451,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="diff against a stored artifact; exit 1 on any difference",
     )
     campaign.set_defaults(func=_cmd_campaign)
+
+    roc = subparsers.add_parser(
+        "roc",
+        help="Detection-quality (ROC) sweep of evasive attacks vs defenses",
+        description=(
+            "Run the adaptive-attack grid with labelled-operation capture and "
+            "sweep every detector primitive (absolute entropy, entropy jump, "
+            "sliding window) across its thresholds, emitting per-cell ROC "
+            "points and AUC / operating-point quality tables.  Deterministic "
+            "and bit-identical across backends; artifacts diff like campaign "
+            "artifacts."
+        ),
+    )
+    roc.add_argument(
+        "--grid", choices=["tiny", "full"], default="tiny",
+        help="evasion grid (tiny = the CI smoke / golden-run grid)",
+    )
+    roc.add_argument("--defenses", nargs="*", default=None, help="override defense rows")
+    roc.add_argument("--attacks", nargs="*", default=None, help="override attack columns")
+    roc.add_argument("--seed", type=int, default=None, help="campaign seed (cell seeds derive from it)")
+    roc.add_argument("--victim-files", type=int, default=None)
+    roc.add_argument("--jobs", type=int, default=1, help="parallel workers (0 = all cores)")
+    roc.add_argument(
+        "--backend", choices=["auto", "sequential", "thread", "process"], default="auto",
+        help="execution backend (auto = process pool when --jobs != 1)",
+    )
+    roc.add_argument(
+        "--filter", nargs="*", default=None, metavar="PATTERN",
+        help="only run cells whose defense/attack/workload/device key matches",
+    )
+    roc.add_argument(
+        "--quality-only", action="store_true",
+        help="print only the AUC / operating-point summary, not every ROC point",
+    )
+    roc.add_argument("--output", default=None, help="write the ROC artifact JSON here")
+    roc.add_argument(
+        "--baseline", default=None, metavar="ARTIFACT",
+        help="diff against a stored ROC artifact; exit 1 on any difference",
+    )
+    roc.set_defaults(func=_cmd_roc)
 
     recover = subparsers.add_parser(
         "recover",

@@ -18,11 +18,16 @@ detectors are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.forensics import PostAttackAnalyzer, StreamProfile
 from repro.core.oplog import OperationLog
-from repro.crypto.entropy import EntropyWindow
+from repro.crypto.entropy import (
+    DEFAULT_ENCRYPTED_THRESHOLD,
+    DEFAULT_JUMP_THRESHOLD,
+    EntropyJumpTracker,
+    EntropyWindow,
+)
 from repro.ssd.device import HostOp, HostOpType
 
 
@@ -157,3 +162,238 @@ class RemoteDetector:
             trigger=trigger,
             operations_analyzed=len(entries),
         )
+
+
+# ---------------------------------------------------------------------------
+# Detection quality: labelled observation + confusion matrices + sweeps
+# ---------------------------------------------------------------------------
+#
+# Detection *latency* (above) says when a detector fired; it says nothing
+# about how well its trigger separates malicious writes from benign
+# ones.  The classes below add that second axis: an observer records the
+# labelled write stream a scenario produced, and per-detector scorers
+# replay primitive detectors over it at many thresholds, yielding the
+# confusion matrices the ROC pipeline (repro.campaign.roc) turns into
+# TPR/FPR trade-off curves -- the evaluation methodology of SSDInsider
+# and FlashGuard, applied to every defense x attack cell.
+
+
+@dataclass
+class ConfusionMatrix:
+    """Counts of predicted-vs-actual verdicts over labelled operations."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    true_negatives: int = 0
+    false_negatives: int = 0
+
+    def record(self, predicted: bool, actual: bool) -> None:
+        """Tally one (prediction, ground truth) pair."""
+        if actual:
+            if predicted:
+                self.true_positives += 1
+            else:
+                self.false_negatives += 1
+        elif predicted:
+            self.false_positives += 1
+        else:
+            self.true_negatives += 1
+
+    @property
+    def total(self) -> int:
+        """Number of labelled operations scored."""
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+        )
+
+    @property
+    def true_positive_rate(self) -> float:
+        """Recall: flagged malicious ops / all malicious ops (0 if none)."""
+        positives = self.true_positives + self.false_negatives
+        return self.true_positives / positives if positives else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Flagged benign ops / all benign ops (0 if none)."""
+        negatives = self.false_positives + self.true_negatives
+        return self.false_positives / negatives if negatives else 0.0
+
+    @property
+    def precision(self) -> float:
+        """Truly malicious fraction of everything flagged (0 if nothing flagged)."""
+        flagged = self.true_positives + self.false_positives
+        return self.true_positives / flagged if flagged else 0.0
+
+    @property
+    def youden_j(self) -> float:
+        """TPR - FPR: the threshold-quality score ROC operating points maximise."""
+        return self.true_positive_rate - self.false_positive_rate
+
+
+@dataclass(frozen=True)
+class DetectionSample:
+    """One labelled write, as the detector primitives see it.
+
+    ``delta_entropy`` is the rise over the previous write to the same
+    LBA (``None`` for the first write -- jump detectors cannot fire
+    without a displaced version).  ``malicious`` is ground truth from
+    the scenario's stream labels, never from the detector under test.
+    """
+
+    timestamp_us: int
+    stream_id: int
+    lba: int
+    entropy: float
+    delta_entropy: Optional[float]
+    malicious: bool
+
+
+class DetectionTraceObserver:
+    """Device observer recording the labelled write stream of a scenario.
+
+    Attach it to the raw SSD before the workload runs; afterwards,
+    :meth:`samples` labels each recorded write against the attack's
+    ground-truth malicious stream set.  Multi-page writes are recorded
+    once, under their first LBA, mirroring what the operation log
+    carries (single-page traffic is everything the scenarios issue).
+    """
+
+    def __init__(self) -> None:
+        self._writes: List[Tuple[int, int, int, float, Optional[float]]] = []
+        self._jump_tracker = EntropyJumpTracker()
+
+    def on_host_op(self, op: HostOp) -> None:
+        """Observer hook: record completed writes with their entropy delta."""
+        if op.op_type is not HostOpType.WRITE or op.content is None:
+            return
+        entropy = op.content.entropy
+        delta = self._jump_tracker.observe(op.lba, entropy)
+        self._writes.append((op.timestamp_us, op.stream_id, op.lba, entropy, delta))
+
+    @property
+    def writes_recorded(self) -> int:
+        """Number of write operations captured so far."""
+        return len(self._writes)
+
+    def samples(self, malicious_streams: Iterable[int]) -> List[DetectionSample]:
+        """Label the recorded writes against ``malicious_streams``."""
+        malicious: Set[int] = set(malicious_streams)
+        return [
+            DetectionSample(
+                timestamp_us=timestamp_us,
+                stream_id=stream_id,
+                lba=lba,
+                entropy=entropy,
+                delta_entropy=delta,
+                malicious=stream_id in malicious,
+            )
+            for timestamp_us, stream_id, lba, entropy, delta in self._writes
+        ]
+
+
+def entropy_confusion(
+    samples: Sequence[DetectionSample], threshold: float
+) -> ConfusionMatrix:
+    """Score the absolute-entropy detector: flag writes at or above ``threshold``."""
+    matrix = ConfusionMatrix()
+    for sample in samples:
+        matrix.record(sample.entropy >= threshold, sample.malicious)
+    return matrix
+
+
+def jump_confusion(
+    samples: Sequence[DetectionSample], threshold: float
+) -> ConfusionMatrix:
+    """Score the entropy-jump detector: flag rises of at least ``threshold``.
+
+    Writes with no displaced version (``delta_entropy is None``) are
+    scored as not-flagged: a jump detector has nothing to compare
+    against, which is exactly its blind spot on fresh allocations.
+    """
+    matrix = ConfusionMatrix()
+    for sample in samples:
+        predicted = sample.delta_entropy is not None and (
+            sample.delta_entropy >= threshold
+        )
+        matrix.record(predicted, sample.malicious)
+    return matrix
+
+
+def window_confusion(
+    samples: Sequence[DetectionSample],
+    fraction_threshold: float,
+    window_size: int = 64,
+    entropy_threshold: float = DEFAULT_ENCRYPTED_THRESHOLD,
+) -> ConfusionMatrix:
+    """Score the sliding-window detector at one fraction threshold.
+
+    Replays an :class:`~repro.crypto.entropy.EntropyWindow` over the
+    write stream; each write's prediction is the alarm state *at that
+    write* (window at least half full and the high-entropy fraction at
+    or above ``fraction_threshold``), matching how the in-firmware
+    detectors sample their window.
+    """
+    matrix = ConfusionMatrix()
+    window = EntropyWindow(window_size=window_size)
+    for sample in samples:
+        window.observe(min(8.0, max(0.0, sample.entropy)))
+        predicted = window.count >= window_size // 2 and (
+            window.high_entropy_fraction(entropy_threshold) >= fraction_threshold
+        )
+        matrix.record(predicted, sample.malicious)
+    return matrix
+
+
+#: Threshold grids swept per detector; each includes a permissive and a
+#: prohibitive endpoint so every ROC curve is anchored near (1,1)/(0,0).
+DETECTOR_THRESHOLDS: Dict[str, Tuple[float, ...]] = {
+    "entropy": (0.0, 4.0, 5.0, 5.5, 6.0, 6.5, 6.8, 7.0, 7.2, 7.5, 7.9, 8.5),
+    "jump": (-1.0, 0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 8.5),
+    "window": (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 1.0, 1.1),
+}
+
+#: The thresholds the deployed detectors actually run at; ROC quality
+#: tables report the operating point alongside the full curve.  The
+#: entropy and jump defaults are the shared ``repro.crypto.entropy``
+#: constants, so the live classifier, the forensic profiler and the
+#: sweeps stay in lockstep when tuned.
+DETECTOR_DEFAULTS: Dict[str, float] = {
+    "entropy": DEFAULT_ENCRYPTED_THRESHOLD,
+    "jump": DEFAULT_JUMP_THRESHOLD,
+    "window": 0.6,
+}
+
+_DETECTOR_SCORERS = {
+    "entropy": entropy_confusion,
+    "jump": jump_confusion,
+    "window": window_confusion,
+}
+
+
+def detector_names() -> List[str]:
+    """The detector primitives the quality pipeline sweeps, sorted."""
+    return sorted(_DETECTOR_SCORERS)
+
+
+def sweep_detector(
+    samples: Sequence[DetectionSample],
+    detector: str,
+    thresholds: Optional[Sequence[float]] = None,
+) -> List[Tuple[float, ConfusionMatrix]]:
+    """Confusion matrix of ``detector`` at every swept threshold.
+
+    ``detector`` is one of :func:`detector_names`; ``thresholds``
+    defaults to the detector's :data:`DETECTOR_THRESHOLDS` grid.
+    Results are ordered by threshold, ascending.
+    """
+    try:
+        scorer = _DETECTOR_SCORERS[detector]
+    except KeyError:
+        raise ValueError(
+            f"unknown detector {detector!r}; known: {detector_names()}"
+        ) from None
+    grid = thresholds if thresholds is not None else DETECTOR_THRESHOLDS[detector]
+    return [(threshold, scorer(samples, threshold)) for threshold in sorted(grid)]

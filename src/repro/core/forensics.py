@@ -13,8 +13,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from collections import deque
+
 from repro.core.offload import OffloadEngine
 from repro.core.oplog import LogEntry, OperationLog
+from repro.crypto.entropy import (
+    DEFAULT_ENCRYPTED_THRESHOLD,
+    DEFAULT_JUMP_THRESHOLD,
+    EntropyJumpTracker,
+)
 from repro.sim import SimClock
 from repro.ssd.device import HostOpType
 
@@ -32,10 +39,23 @@ class StreamProfile:
     read_then_overwrite: int
     first_us: int
     last_us: int
+    #: Writes whose entropy rose by at least the jump threshold over the
+    #: previous write to the same page (any stream's) -- the signal that
+    #: survives entropy-shaped (mimicry) ciphertext.
+    entropy_jump_writes: int = 0
+    #: Trimmed pages that some stream had read shortly before the trim
+    #: -- the read-then-destroy signature that separates a trim-wiping
+    #: attacker from benign discard traffic.
+    trims_of_read_data: int = 0
 
     @property
     def high_entropy_fraction(self) -> float:
         return self.high_entropy_writes / self.writes if self.writes else 0.0
+
+    @property
+    def jump_fraction(self) -> float:
+        """Fraction of this stream's writes that were entropy jumps."""
+        return self.entropy_jump_writes / self.writes if self.writes else 0.0
 
     @property
     def duration_us(self) -> int:
@@ -67,7 +87,11 @@ class PostAttackAnalyzer:
     #: Firmware/host-side cost of replaying one log entry during verification.
     REPLAY_US_PER_ENTRY = 2.0
     #: Entropy above which a logged write is counted as encrypted-looking.
-    HIGH_ENTROPY_THRESHOLD = 7.2
+    HIGH_ENTROPY_THRESHOLD = DEFAULT_ENCRYPTED_THRESHOLD
+    #: Entropy rise over the replaced data that counts as a jump write.
+    ENTROPY_JUMP_THRESHOLD = DEFAULT_JUMP_THRESHOLD
+    #: Distinct recently-read pages remembered for read-then-trim attribution.
+    RECENT_READ_PAGES = 512
 
     def __init__(
         self,
@@ -85,8 +109,34 @@ class PostAttackAnalyzer:
         """Summarise per-stream behaviour over ``entries`` (default: whole log)."""
         entries = entries if entries is not None else self.oplog.all_entries()
         per_stream: Dict[int, List[LogEntry]] = {}
+        # Jump and read-then-trim detection need the cross-stream view:
+        # the replaced (or wiped) data a malicious stream destroys was
+        # usually written -- and read back -- under the user's stream.
+        jump_writes: Dict[int, int] = {}
+        trims_of_read: Dict[int, int] = {}
+        jump_tracker = EntropyJumpTracker()
+        recent_read_order: deque = deque()
+        recent_read_pages: set = set()
         for entry in entries:
             per_stream.setdefault(entry.stream_id, []).append(entry)
+            pages = range(entry.lba, entry.lba + max(1, entry.npages))
+            if entry.op_type is HostOpType.WRITE:
+                delta = jump_tracker.observe(entry.lba, entry.entropy)
+                if delta is not None and delta >= self.ENTROPY_JUMP_THRESHOLD:
+                    jump_writes[entry.stream_id] = jump_writes.get(entry.stream_id, 0) + 1
+            elif entry.op_type is HostOpType.READ:
+                for page in pages:
+                    if page not in recent_read_pages:
+                        recent_read_pages.add(page)
+                        recent_read_order.append(page)
+                        if len(recent_read_order) > self.RECENT_READ_PAGES:
+                            recent_read_pages.discard(recent_read_order.popleft())
+            elif entry.op_type is HostOpType.TRIM:
+                hit = sum(1 for page in pages if page in recent_read_pages)
+                if hit:
+                    trims_of_read[entry.stream_id] = (
+                        trims_of_read.get(entry.stream_id, 0) + hit
+                    )
         profiles: Dict[int, StreamProfile] = {}
         for stream_id, stream_entries in per_stream.items():
             writes = [e for e in stream_entries if e.op_type is HostOpType.WRITE]
@@ -114,6 +164,8 @@ class PostAttackAnalyzer:
                 read_then_overwrite=read_then_overwrite,
                 first_us=min(e.timestamp_us for e in stream_entries),
                 last_us=max(e.timestamp_us for e in stream_entries),
+                entropy_jump_writes=jump_writes.get(stream_id, 0),
+                trims_of_read_data=trims_of_read.get(stream_id, 0),
             )
         return profiles
 
@@ -125,18 +177,38 @@ class PostAttackAnalyzer:
     ) -> List[int]:
         """Streams whose behaviour matches encryption ransomware.
 
-        A stream is suspicious if a large fraction of its writes look
-        encrypted *and* it overwrites data it previously read, or if it
-        issues trims right after encrypted-looking writes.
+        Three rules, each aimed at a family the defenses' live detectors
+        can miss but hindsight should not:
+
+        * **encrypting** -- a large fraction of the stream's writes look
+          encrypted (absolute entropy) *or* jumped over the data they
+          replaced (which survives entropy-shaped mimicry), and the
+          stream destroys originals (overwrites data it read, or trims);
+        * **partially encrypting** -- only a minority of writes carry
+          either tell (intermittent/partial encryption), but there are
+          at least ``min_writes`` of them and the stream destroys
+          originals;
+        * **wiping** -- the stream trims enough *recently-read* pages:
+          read-then-destroy is the trim-wipe signature, and requiring it
+          keeps benign discard traffic (deletes without a preceding
+          read) off the suspect list even with no encryption tell.
         """
         profiles = profiles if profiles is not None else self.profile_streams()
         suspects = []
         for stream_id, profile in profiles.items():
-            if profile.writes < min_writes:
+            if profile.writes < min_writes and profile.trims < min_writes:
                 continue
-            encrypting = profile.high_entropy_fraction >= entropy_fraction
+            encryption_tell = max(profile.high_entropy_fraction, profile.jump_fraction)
             destroys_originals = profile.read_then_overwrite > 0 or profile.trims > 0
-            if encrypting and destroys_originals:
+            encrypting = encryption_tell >= entropy_fraction
+            partially_encrypting = (
+                encryption_tell >= entropy_fraction / 2.0
+                and max(profile.high_entropy_writes, profile.entropy_jump_writes)
+                >= min_writes
+                and destroys_originals
+            )
+            wiping = profile.trims_of_read_data >= min_writes
+            if (encrypting and destroys_originals) or partially_encrypting or wiping:
                 suspects.append(stream_id)
         return sorted(suspects)
 

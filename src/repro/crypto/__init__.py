@@ -14,14 +14,23 @@ the standard library's SHA-256 is used.
 
 from repro.crypto.cipher import StreamCipher, keystream_bytes
 from repro.crypto.compression import CompressionModel, Compressor, CompressionResult
-from repro.crypto.entropy import EntropyClassifier, EntropyWindow
+from repro.crypto.entropy import (
+    DEFAULT_ENCRYPTED_THRESHOLD,
+    DEFAULT_JUMP_THRESHOLD,
+    EntropyClassifier,
+    EntropyJumpTracker,
+    EntropyWindow,
+)
 from repro.crypto.hashing import HashChain, MerkleTree, chain_digest
 
 __all__ = [
     "CompressionModel",
     "CompressionResult",
     "Compressor",
+    "DEFAULT_ENCRYPTED_THRESHOLD",
+    "DEFAULT_JUMP_THRESHOLD",
     "EntropyClassifier",
+    "EntropyJumpTracker",
     "EntropyWindow",
     "HashChain",
     "MerkleTree",

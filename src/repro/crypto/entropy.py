@@ -10,9 +10,17 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional
+from typing import Deque, Dict, Optional
 
 from repro.ssd.flash import PageContent, shannon_entropy
+
+#: Entropy (bits/byte) at or above which a write looks encrypted; the
+#: deployed default shared by the classifier, the forensic profiler and
+#: the detection-quality sweeps.
+DEFAULT_ENCRYPTED_THRESHOLD = 7.2
+#: Entropy rise over the replaced data that counts as a jump; shared the
+#: same way, so tuning it re-tunes every consumer together.
+DEFAULT_JUMP_THRESHOLD = 2.0
 
 
 @dataclass(frozen=True)
@@ -25,9 +33,23 @@ class EntropyVerdict:
 
 
 class EntropyClassifier:
-    """Classify page contents as plausibly-encrypted or not."""
+    """Classify page contents as plausibly-encrypted or not.
 
-    def __init__(self, encrypted_threshold: float = 7.2, jump_threshold: float = 2.0) -> None:
+    Two triggers are combined when the replaced data is available:
+
+    * **absolute** -- the write's entropy reaches ``encrypted_threshold``
+      (and did not *drop* relative to the data it replaces);
+    * **jump** -- the write's entropy rose by at least ``jump_threshold``
+      over the replaced data, even if the absolute level stays under the
+      threshold.  This is what catches entropy-mimicry attacks that
+      deliberately hold their output just below the absolute line.
+    """
+
+    def __init__(
+        self,
+        encrypted_threshold: float = DEFAULT_ENCRYPTED_THRESHOLD,
+        jump_threshold: float = DEFAULT_JUMP_THRESHOLD,
+    ) -> None:
         if not 0.0 < encrypted_threshold <= 8.0:
             raise ValueError("encrypted_threshold must be within (0, 8]")
         if jump_threshold < 0.0:
@@ -50,10 +72,35 @@ class EntropyClassifier:
         looks_encrypted = entropy >= self.encrypted_threshold
         if previous is not None:
             delta = entropy - self.entropy_of(previous)
-            looks_encrypted = looks_encrypted and delta >= 0
+            if delta < 0.0:
+                # Entropy dropped relative to the replaced data: whatever
+                # this write is, it is not an encryption of it.
+                looks_encrypted = False
+            else:
+                looks_encrypted = looks_encrypted or delta >= self.jump_threshold
         return EntropyVerdict(
             entropy=entropy, looks_encrypted=looks_encrypted, delta_vs_previous=delta
         )
+
+
+class EntropyJumpTracker:
+    """Per-LBA write-entropy memory for jump detection.
+
+    Both the live detection-quality observer and the post-attack
+    profiler need the same cross-stream view: what entropy did the
+    previous write to this page carry, whoever wrote it.  One tracker
+    implementation keeps their delta semantics identical.
+    """
+
+    def __init__(self) -> None:
+        self._last_entropy: Dict[int, float] = {}
+
+    def observe(self, lba: int, entropy: float) -> Optional[float]:
+        """Record a write and return its entropy rise over the page's
+        previous write (``None`` for the first write to the page)."""
+        previous = self._last_entropy.get(lba)
+        self._last_entropy[lba] = entropy
+        return None if previous is None else entropy - previous
 
 
 class EntropyWindow:

@@ -16,11 +16,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.core.forensics import StreamProfile
+from repro.crypto.entropy import DEFAULT_ENCRYPTED_THRESHOLD
 from repro.forensics.timeline import OperationTimeline, TimelineEvent
+from repro.sim import US_PER_MINUTE
 from repro.ssd.device import HostOpType
 
 #: Entropy above which a logged write is counted as encrypted-looking.
-HIGH_ENTROPY_THRESHOLD = 7.2
+HIGH_ENTROPY_THRESHOLD = DEFAULT_ENCRYPTED_THRESHOLD
 
 
 @dataclass(frozen=True)
@@ -29,12 +31,19 @@ class AttackClassification:
 
     ``pattern`` is one of:
 
-    * ``"encrypt-overwrite"`` -- in-place encryption (WannaCry-like),
-    * ``"encrypt-then-trim"`` -- encrypt to new files, trim originals,
-    * ``"trim-wipe"``         -- destruction dominated by trims,
-    * ``"low-and-slow"``      -- encrypted-looking writes spread over a
-      long window with no destruction burst (the timing attack),
-    * ``"none"``              -- no malicious activity identified.
+    * ``"encrypt-overwrite"``     -- in-place encryption (WannaCry-like),
+    * ``"encrypt-then-trim"``     -- encrypt to new files, trim originals,
+    * ``"trim-wipe"``             -- destruction dominated by trims,
+    * ``"trim-interleaved-wipe"`` -- trims spread behind decoy writes
+      with no encrypted-looking traffic (the adaptive trim attack),
+    * ``"low-and-slow"``          -- encrypted-looking writes spread over
+      a long window with no destruction burst (the timing attack and
+      its computed-dilution v2),
+    * ``"entropy-mimicry"``       -- destruction by writes that never
+      look encrypted (entropy-shaped ciphertext),
+    * ``"intermittent-encrypt"``  -- a fast burst where only a minority
+      of the destructive writes look encrypted (partial encryption),
+    * ``"none"``                  -- no malicious activity identified.
     """
 
     pattern: str
@@ -86,13 +95,33 @@ def _choose_pattern(
         return "none"
     writes = sum(1 for e in destructive if e.op_type is HostOpType.WRITE)
     if trimmed_pages > 0 and encrypted_writes == 0:
+        # Plaintext destroyed through trim with no encrypted-looking
+        # traffic at all; substantial interleaved write activity marks
+        # the adaptive variant that buries its trims behind decoys.
+        if writes > trimmed_pages // 2:
+            return "trim-interleaved-wipe"
         return "trim-wipe"
     if trimmed_pages > 0:
         return "encrypt-then-trim"
-    if writes and mean_gap_us > 60_000_000:
+    if encrypted_writes == 0:
+        # Malicious destruction whose writes never cross the entropy
+        # line: the signature of entropy-shaped (mimicry) ciphertext.
+        return "entropy-mimicry" if writes else "none"
+    paced = mean_gap_us > 60_000_000
+    if not paced and window_us > 10 * US_PER_MINUTE:
+        # Computed-dilution pacing hides the big gaps between bursts by
+        # filling them with decoys; the sustained destructive-write
+        # *rate* over a long window still gives the pacing away.
+        writes_per_second = len(destructive) / (window_us / 1_000_000.0)
+        paced = writes_per_second < 1.0
+    if writes and paced:
         # Destruction spread out with minutes between operations: the
         # stealth profile of the timing attack, not a bulk encryptor.
         return "low-and-slow"
+    if writes and encrypted_writes / writes <= 0.6:
+        # A fast burst where most destructive writes look benign:
+        # partial (every k-th page) encryption.
+        return "intermittent-encrypt"
     return "encrypt-overwrite"
 
 

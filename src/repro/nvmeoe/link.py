@@ -5,7 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.sim import SimClock, US_PER_SECOND
-from repro.nvmeoe.frame import DEFAULT_MTU, wire_bytes_for_payload
+from repro.nvmeoe.frame import (
+    DEFAULT_MTU,
+    ETHERNET_HEADER_BYTES,
+    wire_bytes_for_payload,
+)
 
 
 @dataclass
@@ -18,10 +22,25 @@ class LinkStats:
     busy_us: float = 0.0
 
     def utilization(self, elapsed_us: float) -> float:
-        """Fraction of ``elapsed_us`` the link spent transmitting."""
+        """Fraction of ``elapsed_us`` the link spent transmitting, capped at 1.
+
+        Use :meth:`raw_utilization` to see oversubscription; this view
+        exists for ratio displays that expect a [0, 1] value.
+        """
         if elapsed_us <= 0:
             return 0.0
-        return min(1.0, self.busy_us / elapsed_us)
+        return min(1.0, self.raw_utilization(elapsed_us))
+
+    def raw_utilization(self, elapsed_us: float) -> float:
+        """Unclamped transmit-time / elapsed-time ratio.
+
+        Values above 1.0 mean the link was asked for more transmit time
+        than has elapsed -- it is oversubscribed and transfers queue into
+        the future (see :meth:`NetworkLink.backlog_us`).
+        """
+        if elapsed_us <= 0:
+            return 0.0
+        return self.busy_us / elapsed_us
 
 
 class NetworkLink:
@@ -57,7 +76,15 @@ class NetworkLink:
 
     def serialization_us(self, payload_bytes: int) -> float:
         """Time to push ``payload_bytes`` (plus framing) onto the wire."""
-        wire_bytes = wire_bytes_for_payload(payload_bytes, mtu=self.mtu)
+        return self._wire_time_us(wire_bytes_for_payload(payload_bytes, mtu=self.mtu))
+
+    def _wire_time_us(self, wire_bytes: int) -> float:
+        """Transmit time for an already-framed byte count.
+
+        The single serialization formula: :meth:`transfer` (which has
+        the wire size in hand) and :meth:`serialization_us` both
+        delegate here, so the two can never drift apart.
+        """
         return wire_bytes / self.bytes_per_us
 
     def transfer(self, payload_bytes: int) -> float:
@@ -71,12 +98,15 @@ class NetworkLink:
         if payload_bytes < 0:
             raise ValueError("payload_bytes must be non-negative")
         start_us = max(float(self.clock.now_us), self._busy_until_us)
-        serialization = self.serialization_us(payload_bytes)
+        # One framing computation per transfer: this is the offload hot
+        # path, and the closed form is the only non-trivial work here.
+        wire_bytes = wire_bytes_for_payload(payload_bytes, mtu=self.mtu)
+        serialization = self._wire_time_us(wire_bytes)
         self._busy_until_us = start_us + serialization
         completion = self._busy_until_us + self.propagation_us
         self.stats.transfers += 1
         self.stats.payload_bytes_sent += payload_bytes
-        self.stats.wire_bytes_sent += wire_bytes_for_payload(payload_bytes, mtu=self.mtu)
+        self.stats.wire_bytes_sent += wire_bytes
         self.stats.busy_us += serialization
         return completion
 
@@ -84,9 +114,14 @@ class NetworkLink:
         """How far ahead of the clock the link is already committed."""
         return max(0.0, self._busy_until_us - self.clock.now_us)
 
+    @property
+    def saturated(self) -> bool:
+        """True when transfers are queuing behind committed transmit time."""
+        return self.backlog_us() > 0.0
+
     def sustained_throughput_bytes_per_s(self) -> float:
         """Achievable payload throughput after framing overhead."""
         payload_per_frame = self.mtu
-        wire_per_frame = payload_per_frame + 18
+        wire_per_frame = payload_per_frame + ETHERNET_HEADER_BYTES
         efficiency = payload_per_frame / wire_per_frame
         return self.bandwidth_gbps * 1e9 / 8.0 * efficiency

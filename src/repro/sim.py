@@ -160,4 +160,8 @@ def percentile(sorted_values: List[float], fraction: float) -> float:
     lower = int(position)
     upper = min(lower + 1, len(sorted_values) - 1)
     weight = position - lower
-    return sorted_values[lower] * (1.0 - weight) + sorted_values[upper] * weight
+    low_value, high_value = sorted_values[lower], sorted_values[upper]
+    # lerp as low + (high - low) * w: exact at w == 0 and when the two
+    # ranks are equal, so rounding can never land outside [low, high]
+    # (the a*(1-w) + b*w form can dip just below ``low``).
+    return low_value + (high_value - low_value) * weight

@@ -90,6 +90,49 @@ class TestPostAttackAnalyzer:
         assert profiles[7].read_then_overwrite > 0
         assert profiles[1].high_entropy_fraction < 0.1
 
+    def test_profiles_count_entropy_jumps_across_streams(self):
+        # Mid-entropy overwrites of user text: below the absolute line,
+        # but a clear jump over the replaced data.
+        rssd = RSSD(config=RSSDConfig.tiny())
+        for index in range(12):
+            rssd.write(index, normal_content(index), stream_id=1)
+        for index in range(12):
+            rssd.write(
+                index,
+                PageContent.synthetic(500 + index, 4096, entropy=6.9),
+                stream_id=7,
+            )
+        profiles = rssd.analyzer().profile_streams()
+        assert profiles[7].entropy_jump_writes == 12
+        assert profiles[7].jump_fraction == 1.0
+        assert profiles[1].entropy_jump_writes == 0
+
+    def test_benign_discard_trims_are_not_suspected(self):
+        # A stream trimming pages nobody read recently is ordinary
+        # delete/discard traffic, not a wipe: it must not be suspected.
+        rssd = RSSD(config=RSSDConfig.tiny())
+        for index in range(24):
+            rssd.write(index, normal_content(index), stream_id=1)
+        for index in range(24):
+            rssd.trim(index, stream_id=1)
+        analyzer = rssd.analyzer()
+        assert analyzer.suspect_streams() == []
+
+    def test_read_then_trim_wipe_is_suspected(self):
+        # The same trims *after the data was read back* carry the
+        # read-then-destroy signature of a trim wipe.
+        rssd = RSSD(config=RSSDConfig.tiny())
+        for index in range(24):
+            rssd.write(index, normal_content(index), stream_id=1)
+        for index in range(24):
+            rssd.read(index, stream_id=1)
+        for index in range(24):
+            rssd.trim(index, stream_id=7)
+        analyzer = rssd.analyzer()
+        profiles = analyzer.profile_streams()
+        assert profiles[7].trims_of_read_data == 24
+        assert analyzer.suspect_streams() == [7]
+
 
 class TestLocalDetector:
     def test_detects_burst_of_encrypted_overwrites(self):

@@ -38,7 +38,12 @@ DOCS_DIR = REPO_ROOT / "docs"
 MKDOCS_YML = REPO_ROOT / "mkdocs.yml"
 
 #: Packages whose public API the mkdocs site documents.
-DOCUMENTED_PACKAGES = ["repro.campaign", "repro.nvmeoe", "repro.forensics"]
+DOCUMENTED_PACKAGES = [
+    "repro.attacks",
+    "repro.campaign",
+    "repro.nvmeoe",
+    "repro.forensics",
+]
 
 
 def iter_package_modules(package_name: str):

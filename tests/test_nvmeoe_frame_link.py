@@ -77,9 +77,61 @@ class TestNetworkLink:
         clock.advance(US_PER_SECOND)
         assert 0.0 < link.stats.utilization(float(US_PER_SECOND)) <= 1.0
 
+    def test_raw_utilization_exceeds_one_under_backlog(self):
+        # Commit far more transmit time than will have elapsed: the raw
+        # view must expose the oversubscription the clamped view hides.
+        clock = SimClock()
+        link = NetworkLink(clock, bandwidth_gbps=0.1)
+        for _ in range(5):
+            link.transfer(10**7)
+        clock.advance(US_PER_SECOND)
+        elapsed = float(US_PER_SECOND)
+        assert link.stats.raw_utilization(elapsed) > 1.0
+        assert link.stats.utilization(elapsed) == 1.0
+        assert link.backlog_us() > 0
+        assert link.saturated
+
+    def test_not_saturated_once_backlog_drains(self):
+        clock = SimClock()
+        link = NetworkLink(clock, bandwidth_gbps=1.0)
+        link.transfer(1000)
+        assert link.saturated
+        clock.advance(US_PER_SECOND)
+        assert not link.saturated
+        assert link.backlog_us() == 0.0
+
+    def test_raw_utilization_zero_elapsed(self):
+        link = NetworkLink(SimClock())
+        assert link.stats.raw_utilization(0.0) == 0.0
+
     def test_sustained_throughput_below_line_rate(self):
         link = NetworkLink(SimClock(), bandwidth_gbps=1.0)
         assert link.sustained_throughput_bytes_per_s() < 1e9 / 8
+
+    def test_sustained_throughput_uses_the_frame_header_constant(self):
+        # Pins the satellite fix: the efficiency factor must come from
+        # frame.ETHERNET_HEADER_BYTES, not a hardcoded copy of it.
+        for mtu in (DEFAULT_MTU, 9000):
+            link = NetworkLink(SimClock(), bandwidth_gbps=1.0, mtu=mtu)
+            expected = (1e9 / 8.0) * mtu / (mtu + ETHERNET_HEADER_BYTES)
+            assert link.sustained_throughput_bytes_per_s() == pytest.approx(expected)
+
+    def test_transfer_computes_wire_bytes_exactly_once(self, monkeypatch):
+        import repro.nvmeoe.link as link_module
+
+        calls = []
+        real = link_module.wire_bytes_for_payload
+
+        def counting(payload_bytes, mtu=DEFAULT_MTU):
+            calls.append(payload_bytes)
+            return real(payload_bytes, mtu=mtu)
+
+        monkeypatch.setattr(link_module, "wire_bytes_for_payload", counting)
+        link = NetworkLink(SimClock(), bandwidth_gbps=1.0)
+        link.transfer(100_000)
+        assert len(calls) == 1
+        # And the counters agree with the closed form.
+        assert link.stats.wire_bytes_sent == real(100_000)
 
     def test_invalid_parameters_rejected(self):
         with pytest.raises(ValueError):

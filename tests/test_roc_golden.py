@@ -1,0 +1,146 @@
+"""Golden-run regression suite for the detection-quality (ROC) pipeline.
+
+Mirrors ``test_campaign_golden``: the tiny evasion grid's ROC artifact
+is committed under ``tests/golden/`` and every run must reproduce it
+bit-for-bit -- confusion counts, TPR/FPR points, AUCs and operating
+points -- across every execution backend.  Regenerate intentionally with
+``pytest tests/test_roc_golden.py --update-golden``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CampaignGrid, RocArtifact, run_roc
+from repro.campaign.roc import RocPoint, auc_from_points
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_ROC = GOLDEN_DIR / "roc_tiny.json"
+
+
+def _fresh_tiny_artifact(backend: str = "sequential", jobs: int = 0) -> RocArtifact:
+    return run_roc(CampaignGrid.evasion_tiny(), backend=backend, jobs=jobs)
+
+
+def test_tiny_roc_reproduces_golden_artifact(update_golden):
+    artifact = _fresh_tiny_artifact()
+    text = artifact.to_json()
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        GOLDEN_ROC.write_text(text, encoding="utf-8")
+        pytest.skip(f"golden ROC artifact rewritten: {GOLDEN_ROC}")
+    assert GOLDEN_ROC.exists(), (
+        "golden ROC artifact missing; run pytest tests/test_roc_golden.py "
+        "--update-golden to create it"
+    )
+    stored = GOLDEN_ROC.read_text(encoding="utf-8")
+    if text != stored:
+        differences = artifact.diff(RocArtifact.from_json(stored))
+        pytest.fail(
+            "ROC artifact diverged from tests/golden/roc_tiny.json "
+            "(run --update-golden if intentional):\n" + "\n".join(differences)
+        )
+
+
+@pytest.mark.parametrize("backend,jobs", [("thread", 2), ("process", 2)])
+def test_roc_artifact_is_bit_identical_across_backends(backend, jobs):
+    sequential = _fresh_tiny_artifact().to_json()
+    parallel = _fresh_tiny_artifact(backend=backend, jobs=jobs).to_json()
+    assert parallel == sequential
+
+
+def test_roc_artifact_is_order_independent():
+    grid = CampaignGrid.evasion_tiny()
+    forward = run_roc(grid, specs=grid.cells())
+    backward = run_roc(grid, specs=list(reversed(grid.cells())))
+    assert forward.to_json() == backward.to_json()
+
+
+def test_golden_roc_artifact_shape_meets_acceptance():
+    """>= 4 evasive attacks x >= 3 defenses x every detector, with sane
+    rates and the headline result pinned: mimicry evades the absolute
+    entropy detector at its default threshold but the jump detector
+    catches it."""
+    artifact = RocArtifact.load(str(GOLDEN_ROC))
+    grid = CampaignGrid.evasion_tiny()
+    assert artifact.campaign_seed == grid.seed
+    defenses = {curve.defense for curve in artifact.curves}
+    attacks = {curve.attack for curve in artifact.curves}
+    detectors = {curve.detector for curve in artifact.curves}
+    assert len(defenses) >= 3
+    assert len(attacks) >= 4
+    assert detectors == {"entropy", "jump", "window"}
+    assert artifact.curve_keys == sorted(artifact.curve_keys)
+    for curve in artifact.curves:
+        assert 0.0 <= curve.auc <= 1.0
+        assert curve.samples > 0
+        for point in curve.points:
+            assert 0.0 <= point.true_positive_rate <= 1.0
+            assert 0.0 <= point.false_positive_rate <= 1.0
+            total = (
+                point.true_positives
+                + point.false_positives
+                + point.true_negatives
+                + point.false_negatives
+            )
+            assert total == curve.samples
+    mimicry_entropy = artifact.curve(
+        "LocalSSD/entropy-mimicry/office-edit/tiny#entropy"
+    )
+    mimicry_jump = artifact.curve("LocalSSD/entropy-mimicry/office-edit/tiny#jump")
+    assert mimicry_entropy.tpr_at_default == 0.0, "mimicry must evade the absolute detector"
+    assert mimicry_jump.tpr_at_default > 0.9, "the fixed jump detector must catch mimicry"
+    assert mimicry_jump.fpr_at_default < 0.05
+
+
+def test_golden_roc_pins_rssd_remote_detection():
+    """The deployed window detectors never fire on the evasion grid;
+    RSSD's offloaded full-history detector flags every cell."""
+    artifact = RocArtifact.load(str(GOLDEN_ROC))
+    for curve in artifact.curves:
+        if curve.defense == "RSSD":
+            assert curve.defense_detected
+        else:
+            assert not curve.defense_detected
+
+
+def test_auc_helper_handles_degenerate_curves():
+    perfect = [
+        RocPoint(0.0, 1, 0, 1, 0, 1.0, 0.0, 1.0),
+    ]
+    assert auc_from_points(perfect) == 1.0
+    assert auc_from_points([]) == 0.5  # just the (0,0)-(1,1) diagonal
+
+
+def test_roc_diff_is_field_precise():
+    artifact = RocArtifact.load(str(GOLDEN_ROC))
+    assert artifact.diff(RocArtifact.from_json(artifact.to_json())) == []
+    tweaked = RocArtifact.from_json(artifact.to_json())
+    curve = tweaked.curves[0]
+    tweaked.curves[0] = type(curve).from_dict({**curve.to_dict(), "auc": 0.123})
+    differences = tweaked.diff(artifact)
+    assert len(differences) == 1
+    assert "auc" in differences[0]
+
+
+def test_roc_artifact_refuses_newer_versions():
+    artifact = RocArtifact.load(str(GOLDEN_ROC))
+    data = artifact.to_dict()
+    data["version"] = 999
+    with pytest.raises(ValueError):
+        RocArtifact.from_dict(data)
+
+
+@pytest.mark.slow
+def test_full_evasion_sweep_runs_and_separates_strength_variants():
+    """Nightly: the full evasion grid (strength variants included) runs
+    clean, and stronger evasion shows strictly lower jump-detector TPR
+    at the default threshold than the light variant."""
+    artifact = run_roc(CampaignGrid.evasion_full(), backend="process", jobs=0)
+    attacks = {curve.attack for curve in artifact.curves}
+    assert "entropy-mimicry-strong" in attacks
+    light = artifact.curve("LocalSSD/entropy-mimicry/office-edit/tiny#jump")
+    strong = artifact.curve("LocalSSD/entropy-mimicry-strong/office-edit/tiny#jump")
+    assert strong.tpr_at_default < light.tpr_at_default
