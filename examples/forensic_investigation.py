@@ -7,15 +7,16 @@ detector never fires -- but the hardware-assisted log caught everything,
 so the offloaded analysis identifies the attacker, bounds the attack
 window, and backtracks the history of any victim page.
 
+The device and the victim environment come from :mod:`repro.api`, the
+stable public facade.
+
 Run with::
 
     python examples/forensic_investigation.py
 """
 
-from repro.attacks.base import build_environment
+from repro.api import RSSD, RSSDConfig, provision_environment
 from repro.attacks.timing_attack import TimingAttack
-from repro.core.config import RSSDConfig
-from repro.core.rssd import RSSD
 from repro.sim import format_duration
 from repro.workloads.replay import TraceReplayer
 from repro.workloads.synthetic import ZipfianWorkload
@@ -23,7 +24,7 @@ from repro.workloads.synthetic import ZipfianWorkload
 
 def main() -> None:
     rssd = RSSD(config=RSSDConfig.small())
-    env = build_environment(rssd, victim_files=20, file_size_bytes=8_192)
+    env = provision_environment(rssd, victim_files=20, file_size_bytes=8_192)
 
     # Ordinary user activity runs alongside the attack.
     background = ZipfianWorkload(

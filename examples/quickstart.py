@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
 """Quickstart: build an RSSD, write data, lose it, get it back.
 
+Everything imported here comes from :mod:`repro.api`, the stable public
+facade.
+
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import RSSDConfig, build_rssd
+from repro.api import RSSDConfig, build_rssd
 
 
 def main() -> None:

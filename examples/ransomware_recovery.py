@@ -5,24 +5,31 @@ A victim file system is populated with documents, attacked first by a
 WannaCry-like in-place encryptor and then by a trim-eraser sample, and
 finally recovered from RSSD's retained history -- byte for byte.
 
+The device and the victim environment come from :mod:`repro.api`, the
+stable public facade; the attack-sample profiles are the attack layer's
+own surface.
+
 Run with::
 
     python examples/ransomware_recovery.py
+
+Set ``REPRO_SMOKE=1`` to run a single small scenario (the CI examples
+smoke job uses this).
 """
 
-from repro.attacks.base import build_environment
+import os
+
+from repro.api import RSSD, RSSDConfig, provision_environment
 from repro.attacks.samples import ATTACK_PROFILES, make_attack
-from repro.core.config import RSSDConfig
-from repro.core.rssd import RSSD
 
 
-def attack_and_recover(family: str) -> None:
+def attack_and_recover(family: str, victim_files: int = 30) -> None:
     print(f"\n=== sample: {family} ===")
     profile = ATTACK_PROFILES[family]
     print("behaviour:", profile.description)
 
     rssd = RSSD(config=RSSDConfig.small())
-    env = build_environment(rssd, victim_files=30, file_size_bytes=16_384)
+    env = provision_environment(rssd, victim_files=victim_files, file_size_bytes=16_384)
     print(f"victim file system: {env.fs.file_count} files, "
           f"{env.fs.used_pages} pages in use")
 
@@ -68,6 +75,9 @@ def attack_and_recover(family: str) -> None:
 
 
 def main() -> None:
+    if os.environ.get("REPRO_SMOKE"):
+        attack_and_recover("wannacry-like", victim_files=8)
+        return
     for family in ("wannacry-like", "trim-eraser", "capacity-flooder"):
         attack_and_recover(family)
 

@@ -12,7 +12,7 @@ Run with::
     python examples/retention_planning.py
 """
 
-from repro.analysis.reporting import format_table
+from repro.api import format_table
 from repro.analysis.retention import (
     RetentionScenario,
     figure2_rows,

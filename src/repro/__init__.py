@@ -23,6 +23,9 @@ Hardware-Isolated Network-Storage Codesign and Post-Attack Analysis*
   analysis.
 * ``repro.analysis`` -- experiment harnesses used by the benchmark
   suite to regenerate the paper's tables and figures.
+* ``repro.api`` -- the stable public facade: declarative
+  ``ScenarioSpec``, the ``Session`` lifecycle, the typed ``EventBus``,
+  and the ``run_campaign`` / ``run_roc`` / ``run_fleet`` entry points.
 
 Quickstart
 ----------

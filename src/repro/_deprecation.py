@@ -1,0 +1,46 @@
+"""Warn-once deprecation plumbing for the legacy entry points.
+
+The :mod:`repro.api` facade is the stable, semver-promised surface; the
+constructors it replaced keep working through shims that call
+:func:`warn_once`.  Each distinct (old, new) pair warns exactly once per
+process, so a campaign that builds thousands of environments through a
+legacy path produces one actionable line, not a wall of noise.
+
+This module sits at the package root (below every other layer) so the
+shims in ``repro.attacks``, ``repro.workloads`` and ``repro.campaign``
+can import it without creating a cycle through ``repro.api``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+#: (old, new) pairs that have already warned in this process.
+_warned: Set[str] = set()
+
+
+def warn_once(old: str, new: str, *, stacklevel: int = 3) -> bool:
+    """Emit one :class:`DeprecationWarning` pointing ``old`` users at ``new``.
+
+    Returns ``True`` if the warning was emitted, ``False`` if this
+    (old, new) pair already warned earlier in the process.  The message
+    always names the :mod:`repro.api` replacement so a caller can fix
+    the import without consulting the changelog.
+    """
+    key = f"{old}\x1f{new}"
+    if key in _warned:
+        return False
+    _warned.add(key)
+    warnings.warn(
+        f"{old} is deprecated and will keep working through this shim; "
+        f"migrate to {new} (the stable repro.api surface)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return True
+
+
+def reset_warned() -> None:
+    """Forget which pairs have warned (test isolation only)."""
+    _warned.clear()

@@ -17,7 +17,8 @@ from repro.analysis.retention import (
     figure2_rows,
 )
 from repro.analysis.stats import mean, relative_overhead
-from repro.attacks.base import AttackOutcome, build_environment
+from repro.api.environment import provision_environment
+from repro.attacks.base import AttackOutcome
 from repro.attacks.classic import ClassicRansomware, DestructionMode
 from repro.attacks.gc_attack import GCAttack
 from repro.attacks.timing_attack import TimingAttack
@@ -273,7 +274,7 @@ def run_recovery_experiment(
     rows: List[RecoveryRow] = []
     for name in attack_names:
         rssd = RSSD(config=RSSDConfig(geometry=geometry))
-        env = build_environment(rssd, victim_files=victim_files, file_size_bytes=file_size_bytes)
+        env = provision_environment(rssd, victim_files=victim_files, file_size_bytes=file_size_bytes)
         attack = _attack_by_name(name)
         outcome: AttackOutcome = attack.execute(env)
 
@@ -352,7 +353,7 @@ def run_forensics_experiment(
     rows: List[ForensicsRow] = []
     for background_ops in background_ops_list:
         rssd = RSSD(config=RSSDConfig(geometry=geometry))
-        env = build_environment(rssd, victim_files=12, file_size_bytes=8192, seed=seed)
+        env = provision_environment(rssd, victim_files=12, file_size_bytes=8192, seed=seed)
 
         # Background user traffic before (and interleaved with) the attack.
         workload = ZipfianWorkload(
@@ -467,7 +468,7 @@ def run_trim_ablation(
         rssd = RSSD(config=RSSDConfig(geometry=geometry))
         rssd.retention.retain_trimmed = retain_trimmed
         rssd.trim_handler.set_mode(mode)
-        env = build_environment(rssd, victim_files=victim_files, file_size_bytes=8192)
+        env = provision_environment(rssd, victim_files=victim_files, file_size_bytes=8192)
         attack = TrimmingAttack()
         outcome = attack.execute(env)
 
@@ -524,7 +525,7 @@ def run_detection_ablation(
     rows: List[DetectionRow] = []
     for name in attack_names:
         rssd = RSSD(config=RSSDConfig(geometry=geometry))
-        env = build_environment(rssd, victim_files=24, file_size_bytes=8192)
+        env = provision_environment(rssd, victim_files=24, file_size_bytes=8192)
         attack = _attack_by_name(name)
         outcome = attack.execute(env)
         rssd.drain_offload_queue()

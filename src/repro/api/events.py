@@ -1,0 +1,246 @@
+"""Typed event bus: one subscribe API for every scenario signal.
+
+Before the facade existed, each consumer bolted its own observer onto a
+different layer: the ROC pipeline attached a
+:class:`~repro.core.detection.DetectionTraceObserver` to the raw SSD,
+the campaign engine attached a
+:class:`~repro.forensics.pitr.TraceRecorder`, defenses watched their own
+devices, and GC / offload / retention activity was invisible outside the
+subsystem that produced it.  The :class:`EventBus` replaces those ad-hoc
+capture paths with five typed event records and a single
+``subscribe(event_type, handler)`` API; a
+:class:`~repro.api.session.Session` wires the bus to every tap the
+scenario's device exposes, and the old observers become ordinary
+subscribers.
+
+Events are frozen dataclasses, so subscribers can keep them, hash them
+and compare them; publishing is synchronous and in device order (the
+same ordering guarantee :class:`~repro.ssd.device.HostOp` observers had),
+and handlers must be passive -- the bus is a measurement plane, never a
+control plane, which is what keeps the golden artifacts bit-identical
+whether or not anyone is listening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Type, TypeVar, Union
+
+from repro.ssd.device import HostOp
+from repro.ssd.gc import GCResult
+
+
+@dataclass(frozen=True)
+class HostOpEvent:
+    """One completed host command (read / write / trim / flush).
+
+    Wraps the device-level :class:`~repro.ssd.device.HostOp` verbatim;
+    ``timestamp_us`` mirrors ``op.timestamp_us`` so every event type can
+    be sorted on the same field.
+    """
+
+    timestamp_us: int
+    op: HostOp
+
+
+@dataclass(frozen=True)
+class GCEvent:
+    """One garbage-collection pass on the scenario's device.
+
+    ``forced`` distinguishes eager passes (trim on a commodity device,
+    explicit ``run_gc_now``) from threshold-triggered background passes.
+    """
+
+    timestamp_us: int
+    blocks_erased: int
+    pages_relocated: int
+    stale_pages_preserved: int
+    stale_pages_released: int
+    stalled: bool
+    forced: bool
+
+    @classmethod
+    def from_result(cls, result: GCResult, timestamp_us: int, forced: bool) -> "GCEvent":
+        """Build an event from a device-level :class:`~repro.ssd.gc.GCResult`."""
+        return cls(
+            timestamp_us=timestamp_us,
+            blocks_erased=result.blocks_erased,
+            pages_relocated=result.pages_relocated,
+            stale_pages_preserved=result.stale_pages_preserved,
+            stale_pages_released=result.stale_pages_released,
+            stalled=result.stalled,
+            forced=forced,
+        )
+
+
+@dataclass(frozen=True)
+class DetectionEvent:
+    """A detector verdict for the scenario.
+
+    Published by the session once scoring runs: one event per detector
+    report the defense exposes (the in-firmware window detector, the
+    offloaded full-history detector, or the defense's single boolean).
+    ``timestamp_us`` is ``None`` when the detector fired but cannot
+    timestamp its trigger.
+    """
+
+    detector: str
+    detected: bool
+    timestamp_us: Optional[int]
+    trigger: str = ""
+
+
+@dataclass(frozen=True)
+class OffloadEvent:
+    """One capsule shipped over the NVMe-oE path to the remote tier.
+
+    ``kind`` is ``"pages"`` for retained stale-page batches and
+    ``"log-segment"`` for sealed operation-log segments; ``count`` is
+    pages or log entries accordingly.
+    """
+
+    timestamp_us: int
+    kind: str
+    count: int
+    wire_bytes: int
+
+
+@dataclass(frozen=True)
+class RetentionEvictEvent:
+    """A retained pre-attack version was dropped before it could be used.
+
+    Emitted by the selective retention policies of the hardware baseline
+    defenses when capacity pressure (``"capacity"``) or GC reclaim
+    pressure (``"gc-pressure"``) forces a release.  RSSD's retention
+    manager never evicts (its invariant is zero data loss), which is
+    precisely why subscribing to this event is interesting: a scenario
+    that produces none on RSSD produces a stream of them on the
+    bounded-buffer baselines.
+    """
+
+    timestamp_us: int
+    lba: int
+    cause: str
+
+
+#: Every event record the bus can carry.
+Event = Union[HostOpEvent, GCEvent, DetectionEvent, OffloadEvent, RetentionEvictEvent]
+
+EventT = TypeVar(
+    "EventT",
+    HostOpEvent,
+    GCEvent,
+    DetectionEvent,
+    OffloadEvent,
+    RetentionEvictEvent,
+)
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`; pass to ``unsubscribe``."""
+
+    event_type: type
+    handler: Callable[[object], None]
+    token: int
+
+
+class EventBus:
+    """Synchronous, typed publish/subscribe hub for scenario events.
+
+    Handlers run in subscription order, immediately and on the
+    publishing thread, and must not mutate simulation state.  The bus
+    never buffers: a subscriber that wants history keeps its own (see
+    :func:`record_events` for the trivial recorder).
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[type, List[Subscription]] = {}
+        self._next_token = 0
+        #: Events the bus saw so far, by event type name -- published to
+        #: subscribers or counted via :meth:`count_discarded` when no
+        #: one was listening (observability, tests).
+        self.published_counts: Dict[str, int] = {}
+
+    def subscribe(
+        self, event_type: Type[EventT], handler: Callable[[EventT], None]
+    ) -> Subscription:
+        """Register ``handler`` for every future event of ``event_type``.
+
+        Returns a :class:`Subscription` that :meth:`unsubscribe` accepts;
+        subscribing the same handler twice delivers the event twice (the
+        bus does not deduplicate).
+        """
+        if not callable(handler):
+            raise TypeError("handler must be callable")
+        subscription = Subscription(
+            event_type=event_type, handler=handler, token=self._next_token
+        )
+        self._next_token += 1
+        self._subscribers.setdefault(event_type, []).append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Remove a subscription; unknown subscriptions are ignored."""
+        handlers = self._subscribers.get(subscription.event_type, [])
+        if subscription in handlers:
+            handlers.remove(subscription)
+
+    def publish(self, event: Event) -> None:
+        """Deliver ``event`` to every subscriber of its exact type, in order."""
+        event_type = type(event)
+        name = event_type.__name__
+        self.published_counts[name] = self.published_counts.get(name, 0) + 1
+        for subscription in tuple(self._subscribers.get(event_type, ())):
+            subscription.handler(event)
+
+    def subscriber_count(self, event_type: Optional[type] = None) -> int:
+        """Active subscriptions for one event type, or across all types."""
+        if event_type is not None:
+            return len(self._subscribers.get(event_type, ()))
+        return sum(len(handlers) for handlers in self._subscribers.values())
+
+    def has_subscribers(self, event_type: type) -> bool:
+        """Fast path for hot publishers: anyone listening for this type?
+
+        High-rate taps (the per-host-op forwarder) check this before
+        constructing an event, so a session nobody subscribed to pays no
+        allocation on the I/O hot path; :meth:`count_discarded` keeps
+        ``published_counts`` exact either way.
+        """
+        return bool(self._subscribers.get(event_type))
+
+    def count_discarded(self, event_type: type) -> None:
+        """Record an event that was observed but not constructed.
+
+        Used by hot publishers together with :meth:`has_subscribers`:
+        the event still shows up in ``published_counts`` (the counts
+        mean *events the bus saw*, delivered or not), without the cost
+        of building a record nobody would receive.
+        """
+        name = event_type.__name__
+        self.published_counts[name] = self.published_counts.get(name, 0) + 1
+
+
+def record_events(
+    bus: EventBus, *event_types: type
+) -> Tuple[List[Event], List[Subscription]]:
+    """Subscribe an appending recorder for ``event_types`` (all five if empty).
+
+    Returns the shared (initially empty) event list plus the created
+    subscriptions, so callers can ``unsubscribe`` when done::
+
+        events, subs = record_events(session.bus, GCEvent, OffloadEvent)
+        session.run()
+        gc_passes = [e for e in events if isinstance(e, GCEvent)]
+    """
+    types: Tuple[type, ...] = event_types or (
+        HostOpEvent,
+        GCEvent,
+        DetectionEvent,
+        OffloadEvent,
+        RetentionEvictEvent,
+    )
+    events: List[Event] = []
+    subscriptions = [bus.subscribe(event_type, events.append) for event_type in types]
+    return events, subscriptions

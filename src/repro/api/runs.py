@@ -1,0 +1,75 @@
+"""Grid- and fleet-level entry points of the facade.
+
+One scenario is a :class:`~repro.api.session.Session`; these functions
+are the supported way to run *many* -- a campaign grid, a
+detection-quality (ROC) sweep, or a trace replay against a whole fleet
+of devices.  All three ride the same machinery underneath (cells become
+``ScenarioSpec`` + ``Session``, parallelism goes through the shared
+:class:`~repro.campaign.runner.ExperimentRunner`), which is exactly the
+point of the facade: one path, many consumers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.campaign.engine import run_campaign as run_campaign  # noqa: F401  (re-export)
+from repro.campaign.grid import CampaignGrid, CellSpec
+from repro.campaign.roc import RocArtifact, _run_roc
+from repro.campaign.runner import ExperimentRunner
+from repro.workloads.fleet import FleetFactory, FleetReport, FleetRunner
+from repro.workloads.records import TraceRecord
+
+
+def run_roc(
+    grid: CampaignGrid,
+    backend: str = "sequential",
+    jobs: int = 0,
+    filters: Optional[Sequence[str]] = None,
+    runner: Optional[ExperimentRunner] = None,
+    specs: Optional[List[CellSpec]] = None,
+) -> RocArtifact:
+    """Execute a grid's cells with detection-quality (ROC) capture.
+
+    The same contract as :func:`repro.api.run_campaign`: every cell runs
+    as a ``ScenarioSpec`` + ``Session`` with the labelled-op capture
+    subscribed to the session bus, ``specs`` overrides the grid
+    expansion, results assemble order-independently, and any backend
+    yields a bit-identical artifact.
+    """
+    return _run_roc(
+        grid, backend=backend, jobs=jobs, filters=filters, runner=runner, specs=specs
+    )
+
+
+def run_fleet(
+    records: Sequence[TraceRecord],
+    *,
+    factories: Optional[Dict[str, FleetFactory]] = None,
+    mode: str = "mirror",
+    parallel: bool = False,
+    batched: bool = True,
+    max_batch_pages: int = 64,
+    honor_timestamps: bool = False,
+) -> FleetReport:
+    """Replay a block trace against a fleet of devices and compare them.
+
+    ``mode="mirror"`` replays the full trace on every device
+    (apples-to-apples comparison); ``mode="shard"`` splits it round-robin
+    across the fleet (multi-tenant pool).  ``factories`` defaults to
+    RSSD next to the hardware baselines
+    (:func:`repro.workloads.fleet.default_fleet_factories`).  This is
+    the supported replacement for constructing
+    :class:`~repro.workloads.fleet.FleetRunner` directly.
+    """
+    fleet = FleetRunner._create(
+        factories=factories,
+        batched=batched,
+        max_batch_pages=max_batch_pages,
+        honor_timestamps=honor_timestamps,
+    )
+    if mode == "shard":
+        return fleet.run_sharded(records, parallel=parallel)
+    if mode != "mirror":
+        raise ValueError(f"unknown fleet mode {mode!r}; expected 'mirror' or 'shard'")
+    return fleet.run_mirrored(records, parallel=parallel)

@@ -1,0 +1,229 @@
+"""Declarative, validated scenario specifications.
+
+A :class:`ScenarioSpec` is the single description of one
+device-under-attack scenario: which defense protects which device
+geometry, which workload ages the victim, which attack runs, and the
+seed every random stream derives from.  It is a frozen dataclass of
+names and numbers only, so a spec can be
+
+* **validated** eagerly (unknown registry names and nonsensical sizes
+  fail at construction, not deep inside a worker process),
+* **serialized** canonically to JSON (stable key order, trailing
+  newline) and rebuilt bit-identically,
+* **diffed** field by field and **hashed** (:meth:`ScenarioSpec.spec_hash`)
+  so two hosts can agree they are about to run the same experiment, and
+* **shipped** -- to a process pool, a fleet, or a future remote backend
+  -- and executed anywhere with identical results.
+
+Seeds follow the campaign engine's derivation exactly: every stream is
+seeded from ``(seed, scenario_key, purpose)`` through SHA-256
+(:func:`repro.campaign.seeding.derive_seed`), so a ``ScenarioSpec``
+built from a campaign cell reproduces that cell bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.campaign import registries
+from repro.campaign.grid import CellSpec
+from repro.campaign.seeding import derive_seed
+
+#: Bump when the spec schema changes; readers refuse newer versions.
+SPEC_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-specified, registry-validated scenario.
+
+    ``defense``, ``attack``, ``workload`` and ``device`` are names in
+    the campaign registries (:mod:`repro.campaign.registries`); unknown
+    names raise :class:`KeyError` at construction with the full known
+    list.  ``env_seed`` / ``workload_seed`` / ``attack_seed`` default to
+    ``None``, meaning *derive from* ``seed`` *the SHA-256 way*; explicit
+    values override the derivation (campaign cells carry their
+    grid-derived seeds explicitly).
+    """
+
+    defense: str = "RSSD"
+    attack: str = "classic"
+    workload: str = "office-edit"
+    device: str = "tiny"
+    victim_files: int = 24
+    file_size_bytes: int = 8192
+    user_activity_hours: float = 30.0
+    recent_edit_fraction: float = 0.3
+    seed: int = 23
+    env_seed: Optional[int] = None
+    workload_seed: Optional[int] = None
+    attack_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        registries.validate_names(
+            [self.defense], [self.attack], [self.workload], [self.device]
+        )
+        if self.victim_files < 1:
+            raise ValueError("victim_files must be at least 1")
+        if self.file_size_bytes < 1:
+            raise ValueError("file_size_bytes must be at least 1")
+        if self.user_activity_hours < 0:
+            raise ValueError("user_activity_hours must be non-negative")
+        if not 0.0 <= self.recent_edit_fraction <= 1.0:
+            raise ValueError("recent_edit_fraction must be within [0, 1]")
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def scenario_key(self) -> str:
+        """Stable identifier: defense/attack/workload/device.
+
+        Identical to the campaign engine's cell key, so specs and cells
+        name the same scenario the same way.
+        """
+        return f"{self.defense}/{self.attack}/{self.workload}/{self.device}"
+
+    # -- seed resolution ---------------------------------------------------
+
+    @property
+    def resolved_env_seed(self) -> int:
+        """The environment seed: explicit override or SHA-256 derivation."""
+        if self.env_seed is not None:
+            return self.env_seed
+        return derive_seed(self.seed, self.scenario_key, "env")
+
+    @property
+    def resolved_workload_seed(self) -> int:
+        """The workload-rng seed: explicit override or SHA-256 derivation."""
+        if self.workload_seed is not None:
+            return self.workload_seed
+        return derive_seed(self.seed, self.scenario_key, "workload")
+
+    @property
+    def resolved_attack_seed(self) -> int:
+        """The attack-rng seed: explicit override or SHA-256 derivation."""
+        if self.attack_seed is not None:
+            return self.attack_seed
+        return derive_seed(self.seed, self.scenario_key, "attack")
+
+    def resolve_seeds(self) -> "ScenarioSpec":
+        """A copy with every per-stream seed materialized explicitly.
+
+        The resolved form is what should be shipped to a fleet: it is
+        self-contained (no derivation step on the receiving side) and
+        hashes identically everywhere.
+        """
+        return replace(
+            self,
+            env_seed=self.resolved_env_seed,
+            workload_seed=self.resolved_workload_seed,
+            attack_seed=self.resolved_attack_seed,
+        )
+
+    # -- campaign interop --------------------------------------------------
+
+    @classmethod
+    def from_cell(cls, cell: CellSpec, campaign_seed: int = 0) -> "ScenarioSpec":
+        """Adopt a campaign cell spec, keeping its grid-derived seeds.
+
+        The cell's materialized seeds become explicit overrides, so the
+        resulting spec executes bit-identically to the cell regardless
+        of ``campaign_seed`` (kept only as provenance).
+        """
+        return cls(
+            defense=cell.defense,
+            attack=cell.attack,
+            workload=cell.workload,
+            device=cell.device_config,
+            victim_files=cell.victim_files,
+            file_size_bytes=cell.file_size_bytes,
+            user_activity_hours=cell.user_activity_hours,
+            recent_edit_fraction=cell.recent_edit_fraction,
+            seed=campaign_seed,
+            env_seed=cell.env_seed,
+            workload_seed=cell.workload_seed,
+            attack_seed=cell.attack_seed,
+        )
+
+    def to_cell(self) -> CellSpec:
+        """The campaign-engine view of this spec (seeds resolved)."""
+        return CellSpec(
+            defense=self.defense,
+            attack=self.attack,
+            workload=self.workload,
+            device_config=self.device,
+            victim_files=self.victim_files,
+            file_size_bytes=self.file_size_bytes,
+            user_activity_hours=self.user_activity_hours,
+            recent_edit_fraction=self.recent_edit_fraction,
+            env_seed=self.resolved_env_seed,
+            workload_seed=self.resolved_workload_seed,
+            attack_seed=self.resolved_attack_seed,
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view of the spec, seeds resolved, schema-versioned."""
+        payload = asdict(self.resolve_seeds())
+        payload["version"] = SPEC_VERSION
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
+        """Rebuild a spec, refusing schema versions newer than this reader."""
+        payload = dict(data)
+        version = int(payload.pop("version", SPEC_VERSION))  # type: ignore[arg-type]
+        if version > SPEC_VERSION:
+            raise ValueError(
+                f"scenario spec version {version} is newer than supported "
+                f"version {SPEC_VERSION}"
+            )
+        unknown = set(payload) - {f for f in cls.__dataclass_fields__}
+        if unknown:
+            raise ValueError(f"unknown scenario spec fields: {sorted(unknown)}")
+        return cls(**payload)  # type: ignore[arg-type]
+
+    def to_json(self) -> str:
+        """Canonical serialization: stable key order, trailing newline."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Parse a spec from its canonical JSON text."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        """Write the canonical JSON serialization to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "ScenarioSpec":
+        """Read a spec previously written with :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    # -- comparison --------------------------------------------------------
+
+    def spec_hash(self) -> str:
+        """SHA-256 of the canonical JSON form (stable across processes).
+
+        Per-stream seeds are compared in resolved form, so a spec whose
+        seeds were derived hashes the same as its explicitly-resolved
+        copy; any difference in names, sizes or resolved seeds changes
+        the hash.
+        """
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    def diff(self, other: "ScenarioSpec") -> List[str]:
+        """Human-readable field-level differences against ``other``."""
+        mine, theirs = self.to_dict(), other.to_dict()
+        return [
+            f"{name}: {theirs[name]!r} -> {mine[name]!r}"
+            for name in sorted(mine)
+            if mine[name] != theirs[name]
+        ]

@@ -10,7 +10,7 @@ from typing import Dict, List, Optional
 from repro.crypto.cipher import StreamCipher
 from repro.host.blockdev import HostBlockDevice
 from repro.host.filesystem import SimpleFS
-from repro.host.process import IOProcess, Privilege, ProcessRegistry
+from repro.host.process import IOProcess, ProcessRegistry
 from repro.sim import SimClock
 
 
@@ -54,30 +54,26 @@ def build_environment(
     seed: int = 23,
     rng: Optional[random.Random] = None,
 ) -> AttackEnvironment:
-    """Create a victim environment with ``victim_files`` populated documents.
+    """Deprecated alias of :func:`repro.api.provision_environment`.
 
-    ``seed`` drives both the file contents and (unless an explicit
-    ``rng`` is supplied) the environment's random stream, so a given
-    ``(device, seed)`` pair always produces the same victim.
+    Kept as a warn-once shim so pre-facade callers keep working; the
+    implementation (identical contract: ``seed`` drives file contents
+    and, absent an explicit ``rng``, the environment's random stream)
+    lives in :mod:`repro.api.environment`.
     """
-    clock: SimClock = device.clock  # type: ignore[attr-defined]
-    registry = ProcessRegistry()
-    user = registry.spawn("user-workload", privilege=Privilege.USER)
-    attacker = registry.spawn(
-        "ransomware", privilege=Privilege.ADMIN, is_malicious=True
+    from repro._deprecation import warn_once
+
+    warn_once(
+        "repro.attacks.base.build_environment", "repro.api.provision_environment"
     )
-    blockdev = HostBlockDevice(device, stream_id=user.stream_id)  # type: ignore[arg-type]
-    fs = SimpleFS(blockdev)
-    fs.populate(victim_files, file_size_bytes, seed=seed)
-    return AttackEnvironment(
-        clock=clock,
-        device=device,
-        blockdev=blockdev,
-        fs=fs,
-        registry=registry,
-        user_process=user,
-        attacker_process=attacker,
-        rng=rng if rng is not None else random.Random(seed),
+    from repro.api.environment import provision_environment
+
+    return provision_environment(
+        device,
+        victim_files=victim_files,
+        file_size_bytes=file_size_bytes,
+        seed=seed,
+        rng=rng,
     )
 
 

@@ -1,135 +1,54 @@
-"""Shared experiment execution: one scenario, one cell, one campaign.
+"""Campaign execution: thin cell-level wrappers over the scenario facade.
 
-``execute_scenario`` is the single implementation of the paper's
-evaluation loop -- build a fresh victim environment on a defense's
-device, run the pre-attack workload, let the attacker optionally
-disable host defenses, execute the attack, score recovery and overhead.
-The capability matrix calls it with live factories and its historical
-fixed seeds; ``run_cell`` calls it from a (picklable) :class:`CellSpec`
-with per-cell derived seeds; ``run_campaign`` maps cells through the
+Scenario execution lives in :mod:`repro.api.session`; this module maps
+campaign cells onto it.  ``execute_scenario`` runs one scenario from
+live factories (the capability matrix's historical fixed-seed path),
+``execute_cell_scenario`` turns a picklable :class:`CellSpec` into a
+``ScenarioSpec`` + :class:`~repro.api.session.Session`, ``run_cell``
+reduces the outcome to a :class:`~repro.campaign.results.CellResult`,
+and ``run_campaign`` maps cells through the
 :class:`~repro.campaign.runner.ExperimentRunner`.
+
+The :mod:`repro.api` imports are deliberately function-level: the api
+package imports campaign registries and results at module level, so the
+campaign package must not import it back while initializing.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
-from repro.attacks.base import AttackEnvironment, AttackOutcome, build_environment
-from repro.campaign import registries
 from repro.campaign.grid import CampaignGrid, CellSpec
 from repro.campaign.results import CampaignArtifact, CellResult
 from repro.campaign.runner import ExperimentRunner
-from repro.campaign.seeding import derive_seed
 from repro.defenses.base import Defense
-from repro.defenses.matrix import DEFENDED_THRESHOLD
-from repro.forensics import TraceRecorder, reference_image
 from repro.sim import SimClock
 from repro.ssd.geometry import SSDGeometry
 
-
-@dataclass
-class ScenarioOutcome:
-    """Everything a facade needs to grade one executed scenario.
-
-    The forensic fields are populated only for defenses that support
-    forensics (an evidence chain to analyze); ``defense`` keeps the live
-    defense object so callers such as the ``repro recover`` CLI can keep
-    interrogating the scenario after it was scored.  A
-    :class:`ScenarioOutcome` never crosses a process boundary -- workers
-    reduce it to a picklable :class:`~repro.campaign.results.CellResult`.
-    """
-
-    attack_outcome: AttackOutcome
-    recovery_fraction: float
-    pages_recovered: int
-    defended: bool
-    detected: bool
-    detection_latency_us: Optional[int]
-    compromised: bool
-    write_amplification: float
-    mean_write_latency_us: float
-    mean_read_latency_us: float
-    host_commands: int
-    flash_pages_programmed: int
-    oplog_hash: Optional[str]
-    # -- forensics --------------------------------------------------------
-    exact_pages_recovered: Optional[int] = None
-    exact_pages_lost: Optional[int] = None
-    recovery_exact: Optional[bool] = None
-    forensic_pattern: Optional[str] = None
-    first_malicious_us: Optional[int] = None
-    blast_radius_pages: Optional[int] = None
-    remote_time_order_ok: Optional[bool] = None
-    integrity_errors: List[str] = field(default_factory=list)
-    # -- live scenario objects (in-process consumers only) ----------------
-    defense: Optional[Defense] = None
-    recorder: Optional[TraceRecorder] = None
+#: Names forwarded lazily from :mod:`repro.api.session` (they moved
+#: there when the facade became the implementation layer).
+_API_ALIASES = {
+    "ScenarioOutcome": "SessionResult",
+    "SessionResult": "SessionResult",
+    "score_recovery": "score_recovery",
+    "score_forensics": "score_forensics",
+}
 
 
-def score_recovery(
-    defense: Defense, env: AttackEnvironment, outcome: AttackOutcome
-) -> tuple:
-    """Fraction of victim pages whose pre-attack version is producible."""
-    recovered = 0
-    total = 0
-    for lba in outcome.victim_lbas:
-        original = outcome.original_fingerprints.get(lba)
-        if original is None:
-            continue
-        total += 1
-        live = env.device.read_content(lba)  # type: ignore[attr-defined]
-        if live is not None and live.fingerprint == original:
-            recovered += 1
-            continue
-        version = defense.pre_attack_version(lba, outcome.start_us)
-        if version is not None and version.fingerprint == original:
-            recovered += 1
-    fraction = recovered / total if total else 0.0
-    return fraction, recovered
+def __getattr__(name: str):
+    """Forward the moved scenario-scoring names to :mod:`repro.api.session`."""
+    if name in _API_ALIASES:
+        from repro.api import session as api_session
 
-
-def score_forensics(
-    defense: Defense,
-    outcome: AttackOutcome,
-    recorder: Optional[TraceRecorder],
-) -> dict:
-    """Exact post-attack metrics for defenses with an evidence chain.
-
-    Runs the full forensic pipeline -- chain + remote-order verification,
-    attack classification, and a read-only point-in-time rebuild of the
-    pre-attack image -- and checks the rebuilt image page for page
-    against an independent replay of the recorded command-stream prefix.
-    Defenses whose :meth:`~repro.defenses.base.Defense.forensics_engine`
-    returns ``None`` (the capability protocol, shared with the
-    ``repro recover`` CLI) get the all-``None`` defaults.
-    """
-    engine = defense.forensics_engine()
-    if engine is None:
-        return {}
-    status = engine.verify_chain()
-    classification = engine.classify()
-    image = engine.recover_to(outcome.start_us)
-    exact = image.is_exact
-    if recorder is not None:
-        exact = exact and image.matches(reference_image(recorder.ops, outcome.start_us))
-    return {
-        "exact_pages_recovered": image.pages_recovered,
-        "exact_pages_lost": image.pages_lost,
-        "recovery_exact": exact,
-        "forensic_pattern": classification.pattern,
-        "first_malicious_us": classification.first_malicious_us,
-        "blast_radius_pages": classification.blast_radius_pages,
-        "remote_time_order_ok": status.remote_time_order_ok,
-        "integrity_errors": status.errors(),
-    }
+        return getattr(api_session, _API_ALIASES[name])
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def execute_scenario(
     defense_factory: Callable[[SSDGeometry, SimClock], Defense],
     attack_factory: Callable[[], object],
-    workload: Callable[[AttackEnvironment, random.Random, float, float], None],
+    workload: Callable[..., None],
     geometry: SSDGeometry,
     victim_files: int,
     file_size_bytes: int,
@@ -138,146 +57,56 @@ def execute_scenario(
     user_activity_hours: float,
     recent_edit_fraction: float,
     observers: Optional[Sequence[object]] = None,
-) -> ScenarioOutcome:
-    """Run one (defense, attack, workload) scenario and score it.
+):
+    """Run one (defense, attack, workload) scenario from live factories.
 
-    ``observers`` are extra passive ``IOObserver`` objects attached to
-    the raw SSD before any traffic runs (the detection-quality pipeline
-    uses this to capture the labelled write stream); they must not
-    perturb the scenario.
+    A thin wrapper that builds a :class:`~repro.api.session.Session`
+    from explicit overrides -- the path for callers outside the
+    registries, such as the capability matrix with its historical fixed
+    seeds.  ``observers`` are passive ``IOObserver`` objects subscribed
+    to the session's bus; they must not perturb the scenario.  Returns
+    the session's :class:`~repro.api.session.SessionResult`.
     """
-    clock = SimClock()
-    defense = defense_factory(geometry, clock)
-    recorder: Optional[TraceRecorder] = None
-    if defense.supports_forensics and hasattr(defense.device, "ssd"):
-        # Ground truth for the exact-recovery check: record the raw host
-        # command stream independently of the hardware evidence chain.
-        recorder = TraceRecorder()
-        defense.device.ssd.add_observer(recorder)  # type: ignore[attr-defined]
-    for observer in observers or ():
-        raw_device = getattr(defense.device, "ssd", defense.device)
-        raw_device.add_observer(observer)  # type: ignore[attr-defined]
-    env = build_environment(
-        defense.device,
+    from repro.api.session import Session
+
+    session = Session(
+        defense_factory=defense_factory,
+        attack_factory=attack_factory,
+        workload=workload,
+        geometry=geometry,
         victim_files=victim_files,
         file_size_bytes=file_size_bytes,
-        seed=env_seed,
+        user_activity_hours=user_activity_hours,
+        recent_edit_fraction=recent_edit_fraction,
+        env_seed=env_seed,
+        workload_rng=workload_rng,
+        observers=observers or (),
     )
-    workload(env, workload_rng, user_activity_hours, recent_edit_fraction)
-    attack = attack_factory()
-    compromised = False
-    if getattr(attack, "aggressive", False):
-        compromised = defense.compromise()
-    outcome: AttackOutcome = attack.execute(env)  # type: ignore[attr-defined]
-    fraction, recovered = score_recovery(defense, env, outcome)
-
-    detected = defense.detect()
-    detection_latency_us: Optional[int] = None
-    if detected:
-        detected_at = defense.detection_time_us()
-        if detected_at is not None:
-            detection_latency_us = max(0, detected_at - outcome.start_us)
-        else:
-            # The defense flags but cannot timestamp the trigger: bound
-            # the latency by the end of the attack.
-            detection_latency_us = outcome.duration_us
-
-    device = defense.device
-    metrics = device.metrics  # type: ignore[attr-defined]
-    oplog = getattr(device, "oplog", None)
-
-    forensics = score_forensics(defense, outcome, recorder)
-    return ScenarioOutcome(
-        **forensics,
-        defense=defense,
-        recorder=recorder,
-        attack_outcome=outcome,
-        recovery_fraction=fraction,
-        pages_recovered=recovered,
-        defended=fraction >= DEFENDED_THRESHOLD,
-        detected=detected,
-        detection_latency_us=detection_latency_us,
-        compromised=compromised,
-        write_amplification=metrics.write_amplification,
-        mean_write_latency_us=metrics.latency["write"].mean_us,
-        mean_read_latency_us=metrics.latency["read"].mean_us,
-        host_commands=(
-            metrics.host_reads
-            + metrics.host_writes
-            + metrics.host_trims
-            + metrics.host_flushes
-        ),
-        flash_pages_programmed=metrics.flash_pages_programmed,
-        oplog_hash=oplog.chain.head.hex() if oplog is not None else None,
-    )
+    return session.run()
 
 
 def execute_cell_scenario(
     spec: CellSpec, observers: Optional[Sequence[object]] = None
-) -> ScenarioOutcome:
+):
     """Execute one cell spec and keep the live scenario objects.
 
-    ``run_cell`` reduces the result to a picklable
-    :class:`~repro.campaign.results.CellResult`; the ``repro recover``
-    CLI calls this directly so it can keep interrogating the defense
-    (forensics, recovery) after the cell was scored.  ``observers`` are
-    forwarded to :func:`execute_scenario`.
+    Builds the cell as a ``ScenarioSpec`` + ``Session`` (the facade
+    path); ``run_cell`` reduces the result to a picklable
+    :class:`~repro.campaign.results.CellResult`, while the
+    ``repro recover`` CLI calls this directly so it can keep
+    interrogating the defense (forensics, recovery) after the cell was
+    scored.
     """
-    defense_factory = registries.DEFENSES[spec.defense]
-    attack_builder = registries.ATTACKS[spec.attack]
-    workload = registries.WORKLOADS[spec.workload]
-    geometry = registries.DEVICE_CONFIGS[spec.device_config]()
-    return execute_scenario(
-        observers=observers,
-        defense_factory=defense_factory,
-        attack_factory=lambda: attack_builder(spec.attack_seed),
-        workload=workload,
-        geometry=geometry,
-        victim_files=spec.victim_files,
-        file_size_bytes=spec.file_size_bytes,
-        env_seed=spec.env_seed,
-        workload_rng=random.Random(spec.workload_seed),
-        user_activity_hours=spec.user_activity_hours,
-        recent_edit_fraction=spec.recent_edit_fraction,
-    )
+    from repro.api.session import Session
+    from repro.api.spec import ScenarioSpec
+
+    session = Session(ScenarioSpec.from_cell(spec), observers=observers or ())
+    return session.run()
 
 
 def run_cell(spec: CellSpec) -> CellResult:
     """Execute one cell spec (module-level, so process pools can pickle it)."""
-    scenario = execute_cell_scenario(spec)
-    outcome = scenario.attack_outcome
-    return CellResult(
-        cell_key=spec.cell_key,
-        defense=spec.defense,
-        attack=spec.attack,
-        workload=spec.workload,
-        device_config=spec.device_config,
-        recovery_fraction=scenario.recovery_fraction,
-        defended=scenario.defended,
-        victim_pages=len(outcome.victim_lbas),
-        pages_recovered=scenario.pages_recovered,
-        detected=scenario.detected,
-        detection_latency_us=scenario.detection_latency_us,
-        compromised=scenario.compromised,
-        attack_duration_us=outcome.duration_us,
-        write_amplification=scenario.write_amplification,
-        mean_write_latency_us=scenario.mean_write_latency_us,
-        mean_read_latency_us=scenario.mean_read_latency_us,
-        host_commands=scenario.host_commands,
-        flash_pages_programmed=scenario.flash_pages_programmed,
-        oplog_hash=scenario.oplog_hash,
-        env_seed=spec.env_seed,
-        workload_seed=spec.workload_seed,
-        attack_seed=spec.attack_seed,
-        exact_pages_recovered=scenario.exact_pages_recovered,
-        exact_pages_lost=scenario.exact_pages_lost,
-        recovery_exact=scenario.recovery_exact,
-        forensic_pattern=scenario.forensic_pattern,
-        first_malicious_us=scenario.first_malicious_us,
-        blast_radius_pages=scenario.blast_radius_pages,
-        remote_time_order_ok=scenario.remote_time_order_ok,
-        integrity_errors=list(scenario.integrity_errors),
-    )
+    return execute_cell_scenario(spec).to_cell_result()
 
 
 def run_campaign(

@@ -153,7 +153,10 @@ def run_roc_cell(spec: CellSpec) -> List[RocCurve]:
     """Execute one cell with labelled-op capture and sweep every detector.
 
     Module-level (and returning plain dataclasses) so process pools can
-    pickle it, exactly like :func:`repro.campaign.engine.run_cell`.
+    pickle it, exactly like :func:`repro.campaign.engine.run_cell`.  The
+    cell runs as a ``ScenarioSpec`` + ``Session`` with the
+    :class:`~repro.core.detection.DetectionTraceObserver` subscribed to
+    the session's event bus -- ROC labelling is an ordinary subscriber.
     """
     from repro.campaign.engine import execute_cell_scenario
 
@@ -296,7 +299,7 @@ class RocArtifact:
         return differences
 
 
-def run_roc(
+def _run_roc(
     grid: CampaignGrid,
     backend: str = "sequential",
     jobs: int = 0,
@@ -304,7 +307,7 @@ def run_roc(
     runner: Optional[ExperimentRunner] = None,
     specs: Optional[List[CellSpec]] = None,
 ) -> RocArtifact:
-    """Execute a grid's cells with detection-quality capture.
+    """Shared implementation behind :func:`repro.api.run_roc`.
 
     The same contract as :func:`repro.campaign.engine.run_campaign`:
     ``specs`` overrides the grid expansion, results are assembled
@@ -317,3 +320,24 @@ def run_roc(
     per_cell = runner.map(run_roc_cell, specs)
     curves = [curve for cell_curves in per_cell for curve in cell_curves]
     return RocArtifact(campaign_seed=grid.seed, grid=grid.describe(), curves=curves)
+
+
+def run_roc(
+    grid: CampaignGrid,
+    backend: str = "sequential",
+    jobs: int = 0,
+    filters: Optional[Sequence[str]] = None,
+    runner: Optional[ExperimentRunner] = None,
+    specs: Optional[List[CellSpec]] = None,
+) -> RocArtifact:
+    """Deprecated alias of :func:`repro.api.run_roc` (same contract).
+
+    Kept as a warn-once shim so pre-facade callers keep working; new
+    code imports ``run_roc`` from :mod:`repro.api`.
+    """
+    from repro._deprecation import warn_once
+
+    warn_once("repro.campaign.roc.run_roc", "repro.api.run_roc")
+    return _run_roc(
+        grid, backend=backend, jobs=jobs, filters=filters, runner=runner, specs=specs
+    )

@@ -2,6 +2,8 @@
 
 Examples::
 
+    python -m repro run --spec scenario.json
+    python -m repro run --defense RSSD --attack trimming-attack
     python -m repro table1 --defenses RSSD FlashGuard LocalSSD
     python -m repro figure2
     python -m repro overhead
@@ -12,6 +14,11 @@ Examples::
     python -m repro ablation-offload
     python -m repro ablation-trim
     python -m repro ablation-detection
+
+``repro run`` is the universal entry point: one scenario, described by
+a :class:`repro.api.ScenarioSpec` (from a JSON file or flags), executed
+through a :class:`repro.api.Session`.  The campaign / roc / fleet
+subcommands are grid- and fleet-level conveniences over the same path.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional
 
+from repro import __version__
 from repro.analysis import experiments as ex
 from repro.analysis.figures import render_figure2
 from repro.analysis.reporting import format_table
@@ -154,7 +162,8 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
         render_campaign_forensics,
         render_campaign_overhead,
     )
-    from repro.campaign import CampaignGrid, run_campaign
+    from repro.api import run_campaign
+    from repro.campaign import CampaignGrid
 
     grid = _grid_with_overrides(
         CampaignGrid.tiny() if args.grid == "tiny" else CampaignGrid(),
@@ -189,7 +198,8 @@ def _cmd_roc(args: argparse.Namespace) -> str:
         render_detection_quality,
         render_detection_roc,
     )
-    from repro.campaign import CampaignGrid, run_roc
+    from repro.api import run_roc
+    from repro.campaign import CampaignGrid
 
     grid = _grid_with_overrides(
         CampaignGrid.evasion_tiny()
@@ -345,27 +355,121 @@ def _cmd_recover(args: argparse.Namespace) -> str:
     return "\n\n".join(sections)
 
 
+def _cmd_run(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.api import ScenarioSpec, Session
+    from repro.sim import format_duration
+
+    if args.spec:
+        import dataclasses
+
+        spec = ScenarioSpec.load(args.spec)
+        # Explicit flags override the loaded spec.  Anything that changes
+        # the scenario key or the master seed also drops the stored
+        # per-stream seeds, so they re-derive from (seed, scenario_key)
+        # -- otherwise the run would silently reuse seeds resolved for a
+        # different scenario.
+        overrides = {
+            name: value
+            for name, value in (
+                ("defense", args.defense),
+                ("attack", args.attack),
+                ("workload", args.workload),
+                ("device", args.device),
+                ("victim_files", args.victim_files),
+                ("seed", args.seed),
+            )
+            if value is not None and value != getattr(spec, name)
+        }
+        if overrides.keys() & {"defense", "attack", "workload", "device", "seed"}:
+            overrides.update(env_seed=None, workload_seed=None, attack_seed=None)
+        if overrides:
+            spec = dataclasses.replace(spec, **overrides)
+    else:
+        spec = ScenarioSpec(
+            defense=args.defense or "RSSD",
+            attack=args.attack or "classic",
+            workload=args.workload or "office-edit",
+            device=args.device or "tiny",
+            **{
+                name: value
+                for name, value in (
+                    ("victim_files", args.victim_files),
+                    ("seed", args.seed),
+                )
+                if value is not None
+            },
+        )
+    if args.emit_spec:
+        spec.save(args.emit_spec)
+    if args.no_run:
+        sections = [f"validated spec for {spec.scenario_key} (hash {spec.spec_hash()[:16]})"]
+        if args.emit_spec:
+            sections.append(f"spec written to {args.emit_spec}")
+        return "; ".join(sections)
+
+    session = Session(spec)
+    result = session.run()
+    outcome = result.attack_outcome
+    lines = [
+        f"Scenario: {spec.scenario_key} (spec hash {spec.spec_hash()[:16]})",
+        f"attack ran {format_duration(outcome.start_us)} -> "
+        f"{format_duration(outcome.end_us)}, "
+        f"{len(outcome.victim_lbas)} victim pages",
+        f"recovery:  {result.recovery_fraction:.3f} "
+        f"({result.pages_recovered} pages) -> "
+        f"{'DEFENDED' if result.defended else 'COMPROMISED'}",
+        f"detected:  {result.detected}"
+        + (
+            f" (latency {format_duration(result.detection_latency_us)})"
+            if result.detection_latency_us is not None
+            else ""
+        ),
+        f"overhead:  WA {result.write_amplification:.2f}, "
+        f"mean write {result.mean_write_latency_us:.1f}us, "
+        f"{result.host_commands} host commands",
+    ]
+    if result.forensic_pattern is not None:
+        lines.append(
+            f"forensics: pattern {result.forensic_pattern}, "
+            f"exact recovery {result.recovery_exact}, "
+            f"blast radius {result.blast_radius_pages} pages"
+        )
+    counts = ", ".join(
+        f"{name}={count}" for name, count in sorted(session.bus.published_counts.items())
+    )
+    lines.append(f"events:    {counts}")
+    sections = ["\n".join(lines)]
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n")
+        sections.append(f"result written to {args.output}")
+    return "\n\n".join(sections)
+
+
 def _cmd_fleet(args: argparse.Namespace) -> str:
+    from repro.api import run_fleet
     from repro.ssd.geometry import SSDGeometry
-    from repro.workloads.fleet import FleetRunner, default_fleet_factories
+    from repro.workloads.fleet import default_fleet_factories
     from repro.workloads.synthetic import BurstyWorkload
 
     # The small geometry gives the fleet enough capacity that retention-
     # pinning baselines survive the ingest instead of exhausting flash.
     geometry = SSDGeometry.small()
-    runner = FleetRunner(
-        factories=default_fleet_factories(geometry=geometry),
-        honor_timestamps=False,
-        max_batch_pages=args.max_batch_pages,
-        batched=not args.per_op,
-    )
+    seed = args.seed if args.seed is not None else 11
     trace = BurstyWorkload(
-        capacity_pages=geometry.exported_pages, seed=args.seed
+        capacity_pages=geometry.exported_pages, seed=seed
     ).generate(args.records)
-    if args.shard:
-        report = runner.run_sharded(trace, parallel=args.parallel)
-    else:
-        report = runner.run_mirrored(trace, parallel=args.parallel)
+    report = run_fleet(
+        trace,
+        factories=default_fleet_factories(geometry=geometry),
+        mode="shard" if args.shard else "mirror",
+        parallel=args.parallel,
+        batched=not args.per_op,
+        max_batch_pages=args.max_batch_pages,
+        honor_timestamps=False,
+    )
     header = (
         f"Fleet replay ({report.mode}, {'batched' if report.batched else 'per-op'}): "
         f"{report.total_records:,} records, "
@@ -374,13 +478,101 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
     return header + report.format_table()
 
 
+def _parent_parsers() -> dict:
+    """Shared parent parsers for flags repeated across subcommands.
+
+    ``campaign`` / ``roc`` / ``run`` / ``fleet`` used to each declare
+    their own copies of ``--jobs`` / ``--backend`` / ``--output`` /
+    ``--seed``; declaring them once keeps help texts, defaults and types
+    in a single place.
+    """
+    seed = argparse.ArgumentParser(add_help=False)
+    seed.add_argument(
+        "--seed", type=int, default=None,
+        help="master seed (every derived per-scenario seed follows from it)",
+    )
+    parallel = argparse.ArgumentParser(add_help=False)
+    parallel.add_argument(
+        "--jobs", type=int, default=1, help="parallel workers (0 = all cores)"
+    )
+    parallel.add_argument(
+        "--backend", choices=["auto", "sequential", "thread", "process"], default="auto",
+        help="execution backend (auto = process pool when --jobs != 1)",
+    )
+    output = argparse.ArgumentParser(add_help=False)
+    output.add_argument(
+        "--output", default=None, help="write the result/artifact JSON here"
+    )
+    artifact = argparse.ArgumentParser(add_help=False)
+    artifact.add_argument(
+        "--baseline", default=None, metavar="ARTIFACT",
+        help="diff against a stored artifact; exit 1 on any difference",
+    )
+    artifact.add_argument(
+        "--filter", nargs="*", default=None, metavar="PATTERN",
+        help="only run cells whose defense/attack/workload/device key matches",
+    )
+    return {
+        "seed": seed,
+        "parallel": parallel,
+        "output": output,
+        "artifact": artifact,
+    }
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the RSSD paper's experiments from the command line.",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parents = _parent_parsers()
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser(
+        "run",
+        parents=[parents["seed"], parents["output"]],
+        help="Run one scenario through the repro.api Session facade",
+        description=(
+            "The universal entry point: execute one ScenarioSpec -- loaded "
+            "from JSON (--spec) or assembled from flags -- through a "
+            "repro.api.Session, and report recovery, detection, overhead, "
+            "forensics and the typed event counts."
+        ),
+    )
+    run.add_argument(
+        "--spec", default=None, metavar="SPEC_JSON",
+        help="scenario spec JSON (as written by --emit-spec or ScenarioSpec.save)",
+    )
+    run.add_argument(
+        "--defense", default=None,
+        help="defense registry name (default RSSD; overrides --spec)",
+    )
+    run.add_argument(
+        "--attack", default=None,
+        help="attack registry name (default classic; overrides --spec)",
+    )
+    run.add_argument(
+        "--workload", default=None,
+        help="workload registry name (default office-edit; overrides --spec)",
+    )
+    run.add_argument(
+        "--device", default=None,
+        help="device-config registry name (default tiny; overrides --spec)",
+    )
+    run.add_argument("--victim-files", type=int, default=None)
+    run.add_argument(
+        "--emit-spec", default=None, metavar="SPEC_JSON",
+        help="write the (seed-resolved) spec JSON here before running",
+    )
+    run.add_argument(
+        "--no-run", action="store_true",
+        help="validate (and with --emit-spec, write) the spec without executing it",
+    )
+    run.set_defaults(func=_cmd_run)
 
     table1 = subparsers.add_parser("table1", help="Table 1: defense capability matrix")
     table1.add_argument("--defenses", nargs="*", default=None, help="subset of defense names")
@@ -419,6 +611,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign = subparsers.add_parser(
         "campaign",
+        parents=[
+            parents["seed"], parents["parallel"], parents["output"], parents["artifact"]
+        ],
         help="Run a defense x attack x workload campaign grid",
         description=(
             "Execute a declarative scenario grid through the campaign engine "
@@ -434,26 +629,14 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--attacks", nargs="*", default=None, help="override attack columns")
     campaign.add_argument("--workloads", nargs="*", default=None, help="override workload generators")
     campaign.add_argument("--device-configs", nargs="*", default=None, help="override device geometries")
-    campaign.add_argument("--seed", type=int, default=None, help="campaign seed (cell seeds derive from it)")
     campaign.add_argument("--victim-files", type=int, default=None)
-    campaign.add_argument("--jobs", type=int, default=1, help="parallel workers (0 = all cores)")
-    campaign.add_argument(
-        "--backend", choices=["auto", "sequential", "thread", "process"], default="auto",
-        help="execution backend (auto = process pool when --jobs != 1)",
-    )
-    campaign.add_argument(
-        "--filter", nargs="*", default=None, metavar="PATTERN",
-        help="only run cells whose defense/attack/workload/device key matches",
-    )
-    campaign.add_argument("--output", default=None, help="write the artifact JSON here")
-    campaign.add_argument(
-        "--baseline", default=None, metavar="ARTIFACT",
-        help="diff against a stored artifact; exit 1 on any difference",
-    )
     campaign.set_defaults(func=_cmd_campaign)
 
     roc = subparsers.add_parser(
         "roc",
+        parents=[
+            parents["seed"], parents["parallel"], parents["output"], parents["artifact"]
+        ],
         help="Detection-quality (ROC) sweep of evasive attacks vs defenses",
         description=(
             "Run the adaptive-attack grid with labelled-operation capture and "
@@ -470,25 +653,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     roc.add_argument("--defenses", nargs="*", default=None, help="override defense rows")
     roc.add_argument("--attacks", nargs="*", default=None, help="override attack columns")
-    roc.add_argument("--seed", type=int, default=None, help="campaign seed (cell seeds derive from it)")
     roc.add_argument("--victim-files", type=int, default=None)
-    roc.add_argument("--jobs", type=int, default=1, help="parallel workers (0 = all cores)")
-    roc.add_argument(
-        "--backend", choices=["auto", "sequential", "thread", "process"], default="auto",
-        help="execution backend (auto = process pool when --jobs != 1)",
-    )
-    roc.add_argument(
-        "--filter", nargs="*", default=None, metavar="PATTERN",
-        help="only run cells whose defense/attack/workload/device key matches",
-    )
     roc.add_argument(
         "--quality-only", action="store_true",
         help="print only the AUC / operating-point summary, not every ROC point",
-    )
-    roc.add_argument("--output", default=None, help="write the ROC artifact JSON here")
-    roc.add_argument(
-        "--baseline", default=None, metavar="ARTIFACT",
-        help="diff against a stored ROC artifact; exit 1 on any difference",
     )
     roc.set_defaults(func=_cmd_roc)
 
@@ -537,10 +705,11 @@ def build_parser() -> argparse.ArgumentParser:
     recover.set_defaults(func=_cmd_recover)
 
     fleet = subparsers.add_parser(
-        "fleet", help="Replay a synthetic trace against a fleet of devices"
+        "fleet",
+        parents=[parents["seed"]],
+        help="Replay a synthetic trace against a fleet of devices",
     )
     fleet.add_argument("--records", type=int, default=20_000, help="trace length")
-    fleet.add_argument("--seed", type=int, default=11)
     fleet.add_argument("--shard", action="store_true", help="split the trace across devices")
     fleet.add_argument("--parallel", action="store_true", help="replay devices on threads")
     fleet.add_argument("--per-op", action="store_true", help="use the per-op replay loop")

@@ -17,7 +17,7 @@ to the remote tier:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.core.oplog import LogSegment, OperationLog
 from repro.core.retention import RetentionManager
@@ -85,6 +85,12 @@ class OffloadEngine:
         # seal append-only, so everything before the cursor has already
         # been shipped and never needs rescanning.
         self._log_segment_cursor = 0
+        #: Passive callbacks invoked once per shipped capsule with
+        #: ``(kind, count, wire_bytes, arrival_us)``, where ``kind`` is
+        #: ``"pages"`` or ``"log-segment"``.  The :mod:`repro.api` event
+        #: bus taps this to publish typed ``OffloadEvent`` records;
+        #: listeners must not mutate engine state.
+        self.listeners: List[Callable[[str, int, int, int], None]] = []
 
     # -- page offloading ------------------------------------------------------
 
@@ -135,6 +141,8 @@ class OffloadEngine:
         self.stats.compressed_bytes += compression.compressed_size
         self.stats.wire_bytes += capsule.wire_payload_bytes
         self.stats.last_arrival_us = max(self.stats.last_arrival_us, arrival_us)
+        for listener in self.listeners:
+            listener("pages", len(batch), capsule.wire_payload_bytes, arrival_us)
         return len(batch)
 
     # -- log segment offloading ---------------------------------------------------
@@ -169,6 +177,10 @@ class OffloadEngine:
         self.stats.compressed_bytes += compressed
         self.stats.wire_bytes += capsule.wire_payload_bytes
         self.stats.last_arrival_us = max(self.stats.last_arrival_us, arrival_us)
+        for listener in self.listeners:
+            listener(
+                "log-segment", segment.entry_count, capsule.wire_payload_bytes, arrival_us
+            )
 
     # -- recovery-side fetch ---------------------------------------------------------
 

@@ -11,13 +11,71 @@ the measured version of the paper's Table 1.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Protocol, runtime_checkable
 
 from repro.sim import SimClock, US_PER_DAY
 from repro.ssd.device import SSD, HostOp, HostOpType
 from repro.ssd.flash import PageContent
 from repro.ssd.ftl import FTL, InvalidationCause, StalePage
 from repro.ssd.geometry import SSDGeometry
+
+
+@runtime_checkable
+class ForensicReportLike(Protocol):
+    """Structural type of a legacy evidence-chain summary.
+
+    Matches :class:`repro.core.forensics.EvidenceChainReport` -- the
+    object :meth:`Defense.forensic_report` returns for defenses that
+    keep a verifiable operation log.  Kept as a protocol so the defense
+    layer does not import the forensics layer at runtime.
+    """
+
+    total_entries: int
+    sealed_segments: int
+    offloaded_segments: int
+    chain_verified: bool
+
+
+@runtime_checkable
+class DetectionReportLike(Protocol):
+    """Structural type of a detector's verdict report.
+
+    Matches :class:`repro.core.detection.DetectionReport` -- what
+    :meth:`Defense.detection_reports` yields for defenses that expose
+    per-detector outcomes.  Kept as a protocol so the defense layer does
+    not import the detection layer at runtime.
+    """
+
+    detector: str
+    detected: bool
+    detection_time_us: Optional[int]
+    trigger: str
+
+
+@runtime_checkable
+class ForensicsEngineLike(Protocol):
+    """Structural type of a post-attack analysis service.
+
+    Matches :class:`repro.forensics.engine.ForensicsEngine`; the methods
+    listed here are exactly the capability surface the campaign engine,
+    the ``repro recover`` CLI and :meth:`repro.api.Session.forensics`
+    rely on.
+    """
+
+    def verify_chain(self) -> object:
+        """Verify the hash chain and remote arrival order."""
+
+    def classify(self) -> object:
+        """Identify the attack pattern, origin and blast radius."""
+
+    def recover_to(self, timestamp_us: int, simulate_fetch: bool = False) -> object:
+        """Rebuild the device image as of ``timestamp_us`` (read-only)."""
+
+    def snapshots(self) -> object:
+        """Recoverable points in the evidence chain, oldest first."""
+
+    def investigate(self) -> object:
+        """Run the complete analysis and assemble one forensic report."""
 
 
 class Defense(ABC):
@@ -91,18 +149,29 @@ class Defense(ABC):
             return None
         return getattr(self, "_detected_at_us", None)
 
-    def forensic_report(self) -> Optional[object]:
+    def detection_reports(self) -> List[DetectionReportLike]:
+        """Per-detector verdict reports, if the defense exposes any.
+
+        Defenses running named detectors (e.g. RSSD's in-firmware window
+        detector plus the offloaded full-history detector) return one
+        report per detector after :meth:`detect` has run; defenses that
+        only answer the boolean return an empty list, and the session
+        facade synthesizes a single generic detection event instead.
+        """
+        return []
+
+    def forensic_report(self) -> Optional[ForensicReportLike]:
         """A verified record of operations, if the defense supports forensics."""
         return None
 
-    def forensics_engine(self) -> Optional[object]:
+    def forensics_engine(self) -> Optional[ForensicsEngineLike]:
         """The post-attack analysis service, if the defense supports one.
 
         Defenses with ``supports_forensics`` return a
         :class:`repro.forensics.engine.ForensicsEngine`-compatible
-        object; everything else returns ``None``.  This is the single
-        capability probe the campaign engine and the ``repro recover``
-        CLI share.
+        object (structurally, a :class:`ForensicsEngineLike`); everything
+        else returns ``None``.  This is the single capability probe the
+        campaign engine and the ``repro recover`` CLI share.
         """
         return None
 
@@ -161,6 +230,12 @@ class SelectiveRetentionPolicy:
         self._retained: List[StalePage] = []
         self._evicted = 0
         self._forced_releases = 0
+        #: Passive callbacks invoked with ``(record, cause, timestamp_us)``
+        #: when a retained version is dropped -- ``"capacity"`` for
+        #: ring-buffer overflow, ``"gc-pressure"`` for forced releases
+        #: under reclaim pressure.  The :mod:`repro.api` event bus taps
+        #: this to publish typed ``RetentionEvictEvent`` records.
+        self.evict_listeners: List[Callable[[StalePage, str, int], None]] = []
 
     # -- RetentionPolicy protocol -------------------------------------------------------
 
@@ -172,6 +247,8 @@ class SelectiveRetentionPolicy:
             evicted = self._retained.pop(0)
             evicted.released = True
             self._evicted += 1
+            for listener in self.evict_listeners:
+                listener(evicted, "capacity", self.clock.now_us)
 
     def _expired(self, record: StalePage) -> bool:
         return (self.clock.now_us - record.invalidated_us) > self.window_us
@@ -198,6 +275,8 @@ class SelectiveRetentionPolicy:
             record.released = True
             self._forced_releases += 1
             released += 1
+            for listener in self.evict_listeners:
+                listener(record, "gc-pressure", self.clock.now_us)
         return released
 
     # -- queries used by the owning defense ------------------------------------------------

@@ -76,6 +76,17 @@ class RSSDDefense(Defense):
             return getattr(self._remote_report, "detection_time_us", None)
         return None
 
+    def detection_reports(self):
+        """The local-window and remote-offloaded reports (after :meth:`detect`)."""
+        return [
+            report
+            for report in (
+                getattr(self, "_local_report", None),
+                getattr(self, "_remote_report", None),
+            )
+            if report is not None
+        ]
+
     def forensic_report(self):
         """The legacy evidence-chain summary (see :meth:`forensics_engine`)."""
         return self.rssd.investigate()

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence, Union
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Union
 
 from repro.sim import SimClock
 from repro.ssd.dram import WriteBuffer
@@ -108,6 +108,11 @@ class SSD:
         }
         self.gc_time_us: float = 0.0
         self._observers: List[IOObserver] = []
+        #: Passive callbacks invoked after every GC pass with
+        #: ``(result, timestamp_us, forced)``.  The :mod:`repro.api`
+        #: event bus taps this to publish typed ``GCEvent`` records;
+        #: listeners must not mutate device state.
+        self.gc_listeners: List[Callable[[GCResult, int, bool], None]] = []
         self._sequence = 0
 
     # -- configuration -------------------------------------------------------
@@ -377,6 +382,8 @@ class SSD:
         self.gc_time_us += gc_latency
         self.clock.advance(int(gc_latency))
         self.metrics.retained_pages_current = self.ftl.stale_pages
+        for listener in self.gc_listeners:
+            listener(result, self.clock.now_us, force)
         return result
 
     def run_gc_now(self, force: bool = True) -> GCResult:

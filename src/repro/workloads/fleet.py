@@ -155,7 +155,13 @@ class FleetReport:
 
 
 class FleetRunner:
-    """Replays traces against a fleet of devices and compares them."""
+    """Replays traces against a fleet of devices and compares them.
+
+    Direct construction is deprecated: :func:`repro.api.run_fleet` is
+    the supported entry point (it shares this implementation).  The
+    shim keeps working -- it warns once per process and behaves exactly
+    as before.
+    """
 
     def __init__(
         self,
@@ -163,6 +169,41 @@ class FleetRunner:
         batched: bool = True,
         max_batch_pages: int = 64,
         honor_timestamps: bool = False,
+    ) -> None:
+        from repro._deprecation import warn_once
+
+        warn_once("repro.workloads.fleet.FleetRunner", "repro.api.run_fleet")
+        self._init(
+            factories=factories,
+            batched=batched,
+            max_batch_pages=max_batch_pages,
+            honor_timestamps=honor_timestamps,
+        )
+
+    @classmethod
+    def _create(
+        cls,
+        factories: Optional[Dict[str, FleetFactory]] = None,
+        batched: bool = True,
+        max_batch_pages: int = 64,
+        honor_timestamps: bool = False,
+    ) -> "FleetRunner":
+        """Internal constructor for the facade path (no deprecation warning)."""
+        runner = cls.__new__(cls)
+        runner._init(
+            factories=factories,
+            batched=batched,
+            max_batch_pages=max_batch_pages,
+            honor_timestamps=honor_timestamps,
+        )
+        return runner
+
+    def _init(
+        self,
+        factories: Optional[Dict[str, FleetFactory]],
+        batched: bool,
+        max_batch_pages: int,
+        honor_timestamps: bool,
     ) -> None:
         self.factories = factories if factories is not None else default_fleet_factories()
         if not self.factories:

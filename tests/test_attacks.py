@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.attacks.base import build_environment
+from repro.api import provision_environment
 from repro.attacks.classic import ClassicRansomware, DestructionMode
 from repro.attacks.gc_attack import GCAttack
 from repro.attacks.samples import ATTACK_PROFILES, family_names, make_attack
@@ -18,12 +18,12 @@ from repro.ssd.geometry import SSDGeometry
 
 def plain_environment(victim_files=12):
     device = SSD(geometry=SSDGeometry.tiny())
-    return build_environment(device, victim_files=victim_files, file_size_bytes=8192)
+    return provision_environment(device, victim_files=victim_files, file_size_bytes=8192)
 
 
 def rssd_environment(victim_files=12):
     rssd = RSSD(config=RSSDConfig.tiny())
-    return build_environment(rssd, victim_files=victim_files, file_size_bytes=8192)
+    return provision_environment(rssd, victim_files=victim_files, file_size_bytes=8192)
 
 
 class TestEnvironment:

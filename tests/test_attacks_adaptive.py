@@ -9,7 +9,7 @@ evasive families, and their registration in the campaign registry.
 
 import pytest
 
-from repro.attacks import build_environment
+from repro.api import provision_environment
 from repro.attacks.adaptive import (
     EntropyMimicryAttack,
     EvasionPolicy,
@@ -29,7 +29,7 @@ from repro.ssd.geometry import SSDGeometry
 
 def fresh_environment(victim_files=8):
     device = SSD(geometry=SSDGeometry.tiny())
-    return build_environment(device, victim_files=victim_files, file_size_bytes=8192)
+    return provision_environment(device, victim_files=victim_files, file_size_bytes=8192)
 
 
 def page_chunks(data, page_size=4096):

@@ -220,14 +220,14 @@ class TestEnvironmentRngBinding:
     )
     def test_seedless_attacks_bind_the_environment_rng(self, attack_name):
         """seed=None defers every random draw to env.rng (no module random)."""
-        from repro.attacks.base import build_environment
+        from repro.api import provision_environment
         from repro.campaign.registries import ATTACKS
         from repro.defenses.unprotected import UnprotectedSSD
         from repro.ssd.geometry import SSDGeometry
 
         def run_once():
             defense = UnprotectedSSD(geometry=SSDGeometry.tiny())
-            env = build_environment(
+            env = provision_environment(
                 defense.device, victim_files=4, file_size_bytes=4096, seed=5
             )
             attack = ATTACKS[attack_name](None)  # seed=None: defer to env.rng

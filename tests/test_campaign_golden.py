@@ -18,7 +18,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.campaign import CampaignArtifact, CampaignGrid, run_campaign
+from repro.api import run_campaign
+from repro.campaign import CampaignArtifact, CampaignGrid
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 GOLDEN_TINY = GOLDEN_DIR / "campaign_tiny.json"

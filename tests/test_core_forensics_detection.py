@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.attacks.base import build_environment
+from repro.api import provision_environment
 from repro.attacks.classic import ClassicRansomware
 from repro.attacks.timing_attack import TimingAttack
 from repro.core.config import RSSDConfig
@@ -23,7 +23,7 @@ def normal_content(tag):
 class TestPostAttackAnalyzer:
     def test_evidence_chain_verifies_and_identifies_attacker(self):
         rssd = RSSD(config=RSSDConfig.tiny())
-        env = build_environment(rssd, victim_files=12, file_size_bytes=8192)
+        env = provision_environment(rssd, victim_files=12, file_size_bytes=8192)
         outcome = ClassicRansomware().execute(env)
         rssd.drain_offload_queue()
         report = rssd.investigate()
@@ -38,7 +38,7 @@ class TestPostAttackAnalyzer:
 
     def test_backtracking_reconstructs_page_history(self):
         rssd = RSSD(config=RSSDConfig.tiny())
-        env = build_environment(rssd, victim_files=6, file_size_bytes=4096)
+        env = provision_environment(rssd, victim_files=6, file_size_bytes=4096)
         victim = env.fs.list_files()[0]
         lba = env.fs.file_lbas(victim)[0]
         ClassicRansomware().execute(env)
@@ -54,7 +54,7 @@ class TestPostAttackAnalyzer:
 
     def test_last_clean_timestamp(self):
         rssd = RSSD(config=RSSDConfig.tiny())
-        env = build_environment(rssd, victim_files=6, file_size_bytes=4096)
+        env = provision_environment(rssd, victim_files=6, file_size_bytes=4096)
         victim = env.fs.list_files()[0]
         lba = env.fs.file_lbas(victim)[0]
         ClassicRansomware().execute(env)
@@ -176,7 +176,7 @@ class TestLocalDetector:
 class TestRemoteDetector:
     def test_remote_detector_catches_timing_attack(self):
         rssd = RSSD(config=RSSDConfig.tiny())
-        env = build_environment(rssd, victim_files=16, file_size_bytes=8192)
+        env = provision_environment(rssd, victim_files=16, file_size_bytes=8192)
         TimingAttack(camouflage_writes_per_batch=8).execute(env)
         rssd.drain_offload_queue()
         local = rssd.local_detector.report()

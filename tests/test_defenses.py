@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.attacks.base import build_environment
+from repro.api import provision_environment
 from repro.attacks.classic import ClassicRansomware
 from repro.defenses.base import SelectiveRetentionPolicy
 from repro.defenses.flashguard import FlashGuardDefense
@@ -250,7 +250,7 @@ class TestHardwareDefenses:
 class TestRSSDDefenseAdapter:
     def test_full_recovery_capability_and_forensics(self):
         defense = RSSDDefense(geometry=SSDGeometry.tiny())
-        env = build_environment(defense.device, victim_files=8, file_size_bytes=8192)
+        env = provision_environment(defense.device, victim_files=8, file_size_bytes=8192)
         outcome = ClassicRansomware().execute(env)
         recovered = 0
         for lba in outcome.victim_lbas:

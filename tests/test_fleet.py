@@ -1,7 +1,14 @@
-"""Tests for the fleet-scale trace replay runner."""
+"""Tests for the fleet-scale trace replay runner.
+
+Fleets are built through :func:`repro.api.run_fleet` (or the runner's
+internal ``_create`` constructor, for tests that drive one runner
+through several scenarios); the deprecated direct ``FleetRunner(...)``
+construction is covered by ``test_api_deprecation``.
+"""
 
 import pytest
 
+from repro.api import run_fleet
 from repro.core.config import RSSDConfig
 from repro.core.rssd import RSSD
 from repro.ssd.geometry import SSDGeometry
@@ -57,7 +64,7 @@ class TestFleetRunner:
     @pytest.fixture
     def tiny_fleet(self):
         geometry = SSDGeometry.tiny()
-        return FleetRunner(
+        return FleetRunner._create(
             factories={
                 "rssd-0": lambda: RSSD(RSSDConfig.tiny()),
                 "rssd-1": lambda: RSSD(RSSDConfig.tiny()),
@@ -108,12 +115,15 @@ class TestFleetRunner:
         factories = default_fleet_factories()
         assert "RSSD" in factories
         assert "LocalSSD" in factories
-        runner = FleetRunner(factories=factories, honor_timestamps=False)
-        report = runner.run_mirrored(small_trace(150, capacity=1500))
+        report = run_fleet(
+            small_trace(150, capacity=1500),
+            factories=factories,
+            honor_timestamps=False,
+        )
         names = {device_report.name for device_report in report.devices}
         assert "RSSD" in names
         assert len(report.devices) == len(factories)
 
     def test_empty_fleet_rejected(self):
         with pytest.raises(ValueError):
-            FleetRunner(factories={})
+            run_fleet([], factories={})

@@ -7,7 +7,7 @@ import random
 
 import pytest
 
-from repro.attacks.base import build_environment
+from repro.api import provision_environment
 from repro.attacks.classic import ClassicRansomware, DestructionMode
 from repro.attacks.trimming_attack import TrimmingAttack
 from repro.campaign import registries
@@ -35,7 +35,7 @@ def attacked_rssd(attack_cls=TrimmingAttack, drain: bool = True):
     rssd = RSSD(config=RSSDConfig.tiny())
     recorder = TraceRecorder()
     rssd.ssd.add_observer(recorder)
-    env = build_environment(rssd, victim_files=10, file_size_bytes=8192, seed=5)
+    env = provision_environment(rssd, victim_files=10, file_size_bytes=8192, seed=5)
     registries.office_edit_activity(env, random.Random(7), 4.0, 0.3)
     outcome = attack_cls(seed=3).execute(env)
     if drain:
@@ -150,7 +150,7 @@ class TestClassification:
     )
     def test_patterns(self, attack_factory, expected_pattern):
         rssd = RSSD(config=RSSDConfig.tiny())
-        env = build_environment(rssd, victim_files=10, file_size_bytes=8192, seed=5)
+        env = provision_environment(rssd, victim_files=10, file_size_bytes=8192, seed=5)
         registries.office_edit_activity(env, random.Random(7), 4.0, 0.3)
         outcome = attack_factory().execute(env)
         classification = ForensicsEngine(rssd).classify()
@@ -166,7 +166,7 @@ class TestClassification:
         )
 
     def test_no_attack_classifies_as_none(self, rssd):
-        env = build_environment(rssd, victim_files=6, file_size_bytes=8192, seed=5)
+        env = provision_environment(rssd, victim_files=6, file_size_bytes=8192, seed=5)
         registries.office_edit_activity(env, random.Random(7), 2.0, 0.3)
         classification = ForensicsEngine(rssd).classify()
         assert classification.pattern == "none"

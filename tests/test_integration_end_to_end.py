@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.attacks.base import build_environment
+from repro.api import provision_environment
 from repro.attacks.classic import ClassicRansomware, DestructionMode
 from repro.attacks.gc_attack import GCAttack
 from repro.attacks.timing_attack import TimingAttack
@@ -42,7 +42,7 @@ def restore_files(rssd, env, outcome):
 )
 def test_full_loop_every_attack_is_recovered_and_attributed(attack_factory):
     rssd = RSSD(config=RSSDConfig.tiny())
-    env = build_environment(rssd, victim_files=16, file_size_bytes=8192)
+    env = provision_environment(rssd, victim_files=16, file_size_bytes=8192)
     attack = attack_factory()
     outcome = attack.execute(env)
     rssd.drain_offload_queue()
@@ -67,7 +67,7 @@ def test_full_loop_every_attack_is_recovered_and_attributed(attack_factory):
 
 def test_background_workload_interleaved_with_attack_still_recovers_cleanly():
     rssd = RSSD(config=RSSDConfig.tiny())
-    env = build_environment(rssd, victim_files=10, file_size_bytes=8192)
+    env = provision_environment(rssd, victim_files=10, file_size_bytes=8192)
 
     # Interleave user traffic (upper half of the address space) with the attack.
     workload = ZipfianWorkload(
@@ -91,7 +91,7 @@ def test_background_workload_interleaved_with_attack_still_recovers_cleanly():
 
 def test_remote_tier_holds_compressed_encrypted_history_in_order():
     rssd = RSSD(config=RSSDConfig.tiny())
-    env = build_environment(rssd, victim_files=12, file_size_bytes=8192)
+    env = provision_environment(rssd, victim_files=12, file_size_bytes=8192)
     ClassicRansomware().execute(env)
     rssd.drain_offload_queue()
     assert rssd.remote.stored_entries > 0
@@ -105,7 +105,7 @@ def test_same_scenario_on_plain_ssd_loses_data():
     from repro.ssd.device import SSD
 
     device = SSD(geometry=SSDGeometry.tiny())
-    env = build_environment(device, victim_files=12, file_size_bytes=8192)
+    env = provision_environment(device, victim_files=12, file_size_bytes=8192)
     outcome = TrimmingAttack().execute(env)
     lost = 0
     for lba in outcome.victim_lbas:
@@ -117,7 +117,7 @@ def test_same_scenario_on_plain_ssd_loses_data():
 
 def test_filesystem_rebuilt_from_recovered_extents_is_usable():
     rssd = RSSD(config=RSSDConfig.tiny())
-    env = build_environment(rssd, victim_files=8, file_size_bytes=8192)
+    env = provision_environment(rssd, victim_files=8, file_size_bytes=8192)
     outcome = TrimmingAttack().execute(env)
     rssd.recovery_engine().undo_attack(outcome.start_us, outcome.malicious_streams)
 

@@ -13,7 +13,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.campaign import CampaignGrid, RocArtifact, run_roc
+from repro.api import run_roc
+from repro.campaign import CampaignGrid, RocArtifact
 from repro.campaign.roc import RocPoint, auc_from_points
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
