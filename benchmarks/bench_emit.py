@@ -1,0 +1,223 @@
+"""Measure replay throughput and maintain the BENCH_replay.json trajectory.
+
+The repository keeps machine-readable performance baselines in
+versioned ``BENCH_*.json`` files at the root.  Each file records, per
+mode (``full`` / ``smoke``), the latest measurement plus a bounded
+history, each entry stamped with the git SHA and date -- a perf
+trajectory that survives refactors and lets CI catch regressions.
+
+Raw ops/s numbers are machine-dependent, so the regression gate
+compares the *speedup* of the batched path over the per-op loop
+measured in the same process on the same machine; that ratio is stable
+across hosts while still collapsing if the batched engine regresses.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_emit.py            # update baseline
+    PYTHONPATH=src python benchmarks/bench_emit.py --check    # CI regression gate
+    PYTHONPATH=src python benchmarks/bench_emit.py --output out/BENCH_replay.json
+
+``--check`` compares the fresh measurement against the committed
+baseline *before* writing and exits non-zero if the speedup dropped by
+more than ``--max-regression`` (default 20%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+from typing import Dict, Optional
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(HERE)
+if HERE not in sys.path:
+    sys.path.insert(0, HERE)
+
+SCHEMA_VERSION = 1
+HISTORY_LIMIT = 20
+DEFAULT_MAX_REGRESSION = 0.20
+
+
+def mode_name() -> str:
+    """Current measurement mode, matching the suite's smoke scaling."""
+    from repro.bench import SMOKE
+
+    return "smoke" if SMOKE else "full"
+
+
+def git_sha() -> str:
+    """Short SHA of HEAD, or ``unknown`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def environment_stamp() -> Dict[str, str]:
+    """Version stamp attached to every emitted entry."""
+    return {
+        "git_sha": git_sha(),
+        "date": datetime.date.today().isoformat(),
+        "python": platform.python_version(),
+    }
+
+
+def measure_replay(repeats: int = 3) -> Dict[str, object]:
+    """Run the replay benchmark harness and return one trajectory entry.
+
+    Reuses the exact device, trace and timing helpers of
+    ``benchmarks/test_replay_throughput.py`` so the emitted numbers are
+    the numbers the test gate sees.
+    """
+    import test_replay_throughput as bench
+    from repro.workloads.replay import BatchTraceReplayer, TraceReplayer
+
+    trace = bench.build_trace()
+    batched_s, batched_result = bench.timed_replay(
+        lambda: BatchTraceReplayer(
+            bench.build_device(),
+            honor_timestamps=False,
+            max_batch_pages=bench.MAX_BATCH_PAGES,
+        ),
+        trace,
+        repeats=repeats,
+    )
+    per_op_s, _ = bench.timed_replay(
+        lambda: TraceReplayer(bench.build_device(), honor_timestamps=False),
+        trace,
+        repeats=max(1, repeats - 1),
+    )
+    entry: Dict[str, object] = {
+        "trace_ops": len(trace),
+        "wall_s_batched": round(batched_s, 4),
+        "wall_s_per_op": round(per_op_s, 4),
+        "ops_per_s_batched": round(len(trace) / batched_s, 1),
+        "ops_per_s_per_op": round(len(trace) / per_op_s, 1),
+        "speedup": round((len(trace) / batched_s) / (len(trace) / per_op_s), 2),
+        "coalescing_factor": round(batched_result.coalescing_factor, 1),
+    }
+    entry.update(environment_stamp())
+    return entry
+
+
+def load_bench_file(path: str) -> Optional[Dict[str, object]]:
+    """Load an existing BENCH_*.json, or ``None`` if absent/unreadable."""
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def update_bench_file(path: str, mode: str, entry: Dict[str, object]) -> Dict[str, object]:
+    """Merge ``entry`` into the trajectory file at ``path`` and write it."""
+    payload = load_bench_file(path)
+    if payload is None or payload.get("schema") != SCHEMA_VERSION:
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "benchmark": "replay_throughput",
+            "modes": {},
+            "history": {},
+        }
+    payload.setdefault("modes", {})[mode] = entry
+    history = payload.setdefault("history", {}).setdefault(mode, [])
+    history.append(entry)
+    del history[:-HISTORY_LIMIT]
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def check_regression(
+    baseline: Optional[Dict[str, object]],
+    mode: str,
+    entry: Dict[str, object],
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> Optional[str]:
+    """Return an error message if ``entry`` regressed past the baseline."""
+    if baseline is None:
+        return None
+    recorded = baseline.get("modes", {}).get(mode)
+    if not recorded or "speedup" not in recorded:
+        return None
+    floor = float(recorded["speedup"]) * (1.0 - max_regression)
+    measured = float(entry["speedup"])
+    if measured < floor:
+        return (
+            f"batched replay speedup regressed: measured {measured:.2f}x, "
+            f"baseline {float(recorded['speedup']):.2f}x "
+            f"(floor {floor:.2f}x at {max_regression:.0%} tolerance)"
+        )
+    return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_replay.json"),
+        help="trajectory file to update (default: repo root BENCH_replay.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(REPO_ROOT, "BENCH_replay.json"),
+        help="committed baseline compared by --check",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) if throughput regressed past --max-regression",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        help="allowed fractional speedup drop before --check fails (default 0.20)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of repeats per path (default 3)"
+    )
+    args = parser.parse_args(argv)
+
+    mode = mode_name()
+    entry = measure_replay(repeats=args.repeats)
+    print(
+        f"[bench_emit] mode={mode} trace_ops={entry['trace_ops']:,} "
+        f"batched={entry['ops_per_s_batched']:,.0f} ops/s "
+        f"per-op={entry['ops_per_s_per_op']:,.0f} ops/s "
+        f"speedup={entry['speedup']:.2f}x"
+    )
+
+    error = None
+    if args.check:
+        error = check_regression(
+            load_bench_file(args.baseline), mode, entry, args.max_regression
+        )
+
+    update_bench_file(args.output, mode, entry)
+    print(f"[bench_emit] wrote {args.output}")
+
+    if error is not None:
+        print(f"[bench_emit] FAIL: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,9 +3,29 @@
 Every benchmark regenerates one of the paper's tables or figures (see
 DESIGN.md's experiment index) and prints the rows it produced.  Run with
 ``pytest benchmarks/ --benchmark-only -s`` to see the tables inline.
+
+Two cross-cutting concerns are centralised here:
+
+* **Smoke scaling.**  All workload size knobs go through
+  :mod:`repro.bench` (``SMOKE`` / ``scaled``), so ``REPRO_SMOKE=1``
+  shrinks the whole suite consistently -- no benchmark file reads the
+  environment on its own.
+* **Perf-trajectory emission.**  Benchmarks that measure throughput
+  record their numbers through the :func:`bench_record` fixture; when
+  ``REPRO_BENCH_EMIT`` is set, the session-finish hook hands the
+  recorded entries to :mod:`bench_emit`, which appends them to the
+  versioned ``BENCH_<name>.json`` files at the repository root.
 """
 
+import os
+import sys
+
 import pytest
+
+from repro.bench import SMOKE, scaled  # noqa: F401  (re-exported for benchmarks)
+
+#: Results recorded by benchmark tests this session: name -> entry dict.
+_RECORDED = {}
 
 
 def run_once(benchmark, func, *args, **kwargs):
@@ -25,3 +45,43 @@ def once(benchmark):
         return run_once(benchmark, func, *args, **kwargs)
 
     return runner
+
+
+@pytest.fixture
+def smoke():
+    """Whether the suite is running in reduced smoke mode."""
+    return SMOKE
+
+
+@pytest.fixture
+def bench_record():
+    """Record a benchmark's measured numbers for BENCH_*.json emission.
+
+    ``bench_record("replay", {...})`` stages an entry; nothing is
+    written unless ``REPRO_BENCH_EMIT`` is set when the session ends
+    (``1`` writes next to the repository root, any other value is used
+    as the output directory).
+    """
+
+    def recorder(name, entry):
+        _RECORDED[name] = dict(entry)
+
+    return recorder
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit recorded benchmark entries into versioned BENCH_*.json files."""
+    target = os.environ.get("REPRO_BENCH_EMIT", "")
+    if not _RECORDED or target in ("", "0"):
+        return
+    here = os.path.dirname(os.path.abspath(__file__))
+    if here not in sys.path:
+        sys.path.insert(0, here)
+    import bench_emit
+
+    out_dir = os.path.dirname(here) if target == "1" else target
+    for name, entry in _RECORDED.items():
+        path = os.path.join(out_dir, f"BENCH_{name}.json")
+        stamped = dict(entry)
+        stamped.update(bench_emit.environment_stamp())
+        bench_emit.update_bench_file(path, bench_emit.mode_name(), stamped)

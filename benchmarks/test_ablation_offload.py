@@ -8,10 +8,15 @@ ahead of the stale-data production rate of real volumes.
 from repro.analysis.experiments import run_offload_ablation
 from repro.analysis.reporting import format_table
 from repro.analysis.retention import RetentionScenario, lookup_volume, stale_gb_per_day
+from repro.bench import scaled
 
 
 def test_offload_compression_and_bandwidth(once):
-    rows = once(run_offload_ablation, volumes=["hm", "src", "email", "usr"])
+    rows = once(
+        run_offload_ablation,
+        volumes=["hm", "src", "email", "usr"],
+        duration_s=scaled(0.1, 0.05),
+    )
     table = format_table(
         ["volume", "pages offloaded", "raw MB", "compressed MB", "ratio", "wire MB"],
         [

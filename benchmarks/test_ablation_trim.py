@@ -7,10 +7,11 @@ trimming attack exploits), RSSD remaps and retains trimmed data.
 
 from repro.analysis.experiments import run_trim_ablation
 from repro.analysis.reporting import format_table
+from repro.bench import scaled
 
 
 def test_trim_handling_modes(once):
-    rows = once(run_trim_ablation)
+    rows = once(run_trim_ablation, victim_files=scaled(16, 8))
     table = format_table(
         ["trim mode", "pages trimmed", "recovered fraction", "trim rejected"],
         [[row.mode, row.pages_trimmed, row.recovered_fraction, row.trim_rejected] for row in rows],

@@ -10,6 +10,8 @@ from repro.analysis.reporting import format_table
 
 
 def test_fig2_retention_time(once):
+    # Analytic model over the 12 traced volumes: cheap enough that smoke
+    # mode (REPRO_SMOKE, see benchmarks/conftest.py) runs it full-size.
     rows = once(run_retention_experiment)
     table = format_table(
         ["volume", "LocalSSD (days)", "LocalSSD+Compr (days)", "RSSD (days)"],

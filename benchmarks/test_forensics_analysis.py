@@ -8,10 +8,12 @@ evidence-chain reconstruction.
 
 from repro.analysis.experiments import run_forensics_experiment
 from repro.analysis.reporting import format_table
+from repro.bench import scaled
 
 
 def test_evidence_chain_reconstruction(once):
-    rows = once(run_forensics_experiment, background_ops_list=[200, 1_000, 4_000])
+    background_ops = scaled([200, 1_000, 4_000], [200, 1_000])
+    rows = once(run_forensics_experiment, background_ops_list=background_ops)
     table = format_table(
         ["background ops", "log entries", "chain verified", "attacker found", "reconstruction (s, simulated)", "remote segments"],
         [
@@ -28,7 +30,7 @@ def test_evidence_chain_reconstruction(once):
     )
     print("\n[P4] Evidence-chain construction\n" + table)
 
-    assert len(rows) == 3
+    assert len(rows) == len(background_ops)
     for row in rows:
         assert row.chain_verified
         assert row.attacker_identified

@@ -6,10 +6,15 @@ replays trace-profile workloads against both devices and compares wear.
 
 from repro.analysis.experiments import run_lifetime_experiment
 from repro.analysis.reporting import format_table
+from repro.bench import scaled
 
 
 def test_lifetime_impact(once):
-    rows = once(run_lifetime_experiment, volumes=["hm", "src", "usr"])
+    rows = once(
+        run_lifetime_experiment,
+        volumes=["hm", "src", "usr"],
+        duration_s=scaled(0.1, 0.05),
+    )
     table = format_table(
         ["volume", "base WAF", "rssd WAF", "WAF ovh %", "base erases", "rssd erases", "erase ovh %"],
         [

@@ -7,10 +7,11 @@ host-visible latencies.
 
 from repro.analysis.experiments import run_performance_overhead
 from repro.analysis.reporting import format_table
+from repro.bench import scaled
 
 
 def test_performance_overhead(once):
-    rows = once(run_performance_overhead, duration_s=0.5)
+    rows = once(run_performance_overhead, duration_s=scaled(0.5, 0.25))
     table = format_table(
         ["job", "base write us", "rssd write us", "write ovh %", "base read us", "rssd read us", "read ovh %"],
         [

@@ -7,10 +7,11 @@ verifies every victim page and file.
 
 from repro.analysis.experiments import run_recovery_experiment
 from repro.analysis.reporting import format_table
+from repro.bench import scaled
 
 
 def test_recovery_after_every_attack(once):
-    rows = once(run_recovery_experiment)
+    rows = once(run_recovery_experiment, victim_files=scaled(24, 12))
     table = format_table(
         ["attack", "victim pages", "restored", "unrecoverable", "recovery (s, simulated)", "files ok"],
         [

@@ -12,18 +12,17 @@ Set ``REPRO_SMOKE=1`` (as CI does) to run a shorter trace with a
 relaxed threshold suited to noisy shared runners.
 """
 
-import os
 import time
 
+from repro.bench import scaled
 from repro.core.config import RSSDConfig
 from repro.core.rssd import RSSD
 from repro.ssd.geometry import SSDGeometry
 from repro.workloads.replay import BatchTraceReplayer, TraceReplayer
 from repro.workloads.synthetic import BurstyWorkload
 
-SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
-TRACE_OPS = 10_000 if SMOKE else 100_000
-MIN_SPEEDUP = 2.0 if SMOKE else 5.0
+TRACE_OPS = scaled(100_000, 10_000)
+MIN_SPEEDUP = scaled(5.0, 2.0)
 MAX_BATCH_PAGES = 256
 
 #: Large enough that the 100k-op ingest mostly lands on fresh pages, the
@@ -62,7 +61,7 @@ def timed_replay(replayer_factory, trace, repeats):
     return best, result
 
 
-def test_batched_replay_is_5x_faster(benchmark):
+def test_batched_replay_is_5x_faster(benchmark, bench_record):
     trace = build_trace()
 
     batched_s, batched_result = timed_replay(
@@ -85,6 +84,18 @@ def test_batched_replay_is_5x_faster(benchmark):
     per_op_ops = len(trace) / per_op_s
     batched_ops = len(trace) / batched_s
     speedup = batched_ops / per_op_ops
+    bench_record(
+        "replay",
+        {
+            "trace_ops": len(trace),
+            "wall_s_batched": round(batched_s, 4),
+            "wall_s_per_op": round(per_op_s, 4),
+            "ops_per_s_batched": round(batched_ops, 1),
+            "ops_per_s_per_op": round(per_op_ops, 1),
+            "speedup": round(speedup, 2),
+            "coalescing_factor": round(batched_result.coalescing_factor, 1),
+        },
+    )
     print(
         f"\n[P5] Trace replay throughput ({len(trace):,} ops)\n"
         f"  per-op loop : {per_op_s:6.2f}s  {per_op_ops:10,.0f} ops/s\n"

@@ -7,11 +7,12 @@ can still produce.
 """
 
 from repro.analysis.experiments import run_capability_matrix
+from repro.bench import scaled
 from repro.defenses.matrix import CapabilityMatrix
 
 
 def test_table1_capability_matrix(once):
-    rows = once(run_capability_matrix)
+    rows = once(run_capability_matrix, victim_files=scaled(24, 12))
     table = CapabilityMatrix.format_table(rows)
     print("\n[Table 1] Defense capability matrix (measured)\n" + table)
 

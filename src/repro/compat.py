@@ -1,0 +1,12 @@
+"""Small compatibility shims.
+
+``DATACLASS_SLOTS`` expands to ``{"slots": True}`` on interpreters that
+support it (3.10+) and to nothing on 3.9, so hot-path dataclasses can be
+declared once as ``@dataclass(**DATACLASS_SLOTS)`` without a version
+fork.  Slots cut per-instance memory and attribute-lookup cost for the
+records that still cross the kernel boundary as objects.
+"""
+
+import sys
+
+DATACLASS_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}

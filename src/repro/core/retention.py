@@ -14,6 +14,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional
 
+import numpy as np
+
 from repro.ssd.ftl import FTL, InvalidationCause, StalePage
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -151,6 +153,30 @@ class RetentionManager:
             self.stats.pages_offloaded += 1
 
     # -- queries -----------------------------------------------------------------------
+
+    def retained_entropy_profile(
+        self, ftl: FTL, encrypted_threshold: float = 7.2
+    ) -> Dict[str, float]:
+        """Vectorized entropy profile of the locally retained stale pool.
+
+        With RSSD's retain-everything policy the FTL's stale pool *is*
+        the retained set, so the profile aggregates straight off the
+        simulation kernel's per-page entropy column (mean entropy and
+        encrypted-looking fraction) without walking the record objects
+        -- the accounting that post-attack forensics and the detection
+        quality reports summarise.
+        """
+        return ftl.stale_entropy_profile(encrypted_threshold)
+
+    def pending_entropy_profile(
+        self, ftl: FTL, encrypted_threshold: float = 7.2
+    ) -> Dict[str, float]:
+        """Same profile restricted to pages still waiting for offload."""
+        ppns = np.fromiter(
+            (record.ppn for record in self._pending if not record.offloaded),
+            dtype=np.int64,
+        )
+        return ftl.kernel.entropy_profile(ppns, encrypted_threshold)
 
     @property
     def pending_pages(self) -> int:

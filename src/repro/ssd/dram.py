@@ -65,6 +65,26 @@ class WriteBuffer:
         self.stats.exposed_writes += 1
         return False
 
+    def admit_run(self, now_us: int, count: int) -> int:
+        """Admit ``count`` single-page writes at ``now_us`` in one call.
+
+        Returns how many of them were absorbed at DRAM latency.  The
+        result and the statistics are identical to calling
+        :meth:`admit` ``count`` times at the same timestamp: the first
+        ``floor(capacity - occupancy)`` calls succeed (each raising the
+        occupancy by one page) and every later call is rejected, since
+        no draining happens between same-timestamp calls.
+        """
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        self._drain(now_us)
+        headroom = self.capacity_pages - self._occupancy
+        admitted = min(count, max(0, int(headroom)))
+        self._occupancy += admitted
+        self.stats.buffered_writes += admitted
+        self.stats.exposed_writes += count - admitted
+        return admitted
+
     def flush(self, now_us: int) -> int:
         """Force the buffer empty (host FLUSH).  Returns pages destaged."""
         self._drain(now_us)

@@ -6,6 +6,13 @@ the whole block is erased.  This "erase-before-rewrite" property is the
 physical foundation of every retention-based ransomware defense in the
 paper -- overwritten data is *not* destroyed by the overwrite itself.
 
+Since the kernel refactor the authoritative page/block state lives in
+:class:`~repro.ssd.kernel.SimKernel` as struct-of-arrays columns.
+:class:`FlashPage` and :class:`FlashBlock` are flyweight *views* over
+those columns: they keep the historical object API (``page.state``,
+``block.valid_pages``, ...) for tests, GC and the wear leveler, while
+the hot batch paths bypass them entirely and operate on the arrays.
+
 Page payloads are represented by :class:`PageContent`.  Small working
 sets (file-system examples, recovery correctness tests) carry real
 bytes; large trace-driven experiments carry only a compact fingerprint
@@ -18,11 +25,15 @@ from __future__ import annotations
 import enum
 import hashlib
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
+import numpy as np
+
+from repro.compat import DATACLASS_SLOTS
 from repro.ssd.errors import FlashStateError
 from repro.ssd.geometry import SSDGeometry
+from repro.ssd.kernel import NO_LPN, PAGE_FREE, PAGE_INVALID, PAGE_VALID, SimKernel
 
 
 def shannon_entropy(data: bytes) -> float:
@@ -40,7 +51,7 @@ def shannon_entropy(data: bytes) -> float:
     return entropy
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class PageContent:
     """Compact description of the data stored in one flash page.
 
@@ -110,6 +121,42 @@ class PageContent:
             payload=None,
         )
 
+    @classmethod
+    def synthetic_run(
+        cls,
+        fingerprints: List[int],
+        length: int,
+        entropy: float = 4.0,
+        compress_ratio: float = 0.5,
+    ) -> List["PageContent"]:
+        """Bulk :meth:`synthetic` for a page run sharing one descriptor.
+
+        The replayer materialises one content object per written page,
+        so construction cost is a measurable slice of trace replay.  The
+        shared attributes are validated once up front, then the
+        instances are built directly without re-running per-field
+        validation.
+        """
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        if not 0.0 <= entropy <= 8.0:
+            raise ValueError("entropy must be within [0, 8] bits per byte")
+        if not 0.0 < compress_ratio <= 1.0:
+            raise ValueError("compress_ratio must be within (0, 1]")
+        new = cls.__new__
+        fill = object.__setattr__
+        run: List["PageContent"] = []
+        append = run.append
+        for fingerprint in fingerprints:
+            content = new(cls)
+            fill(content, "fingerprint", fingerprint)
+            fill(content, "length", length)
+            fill(content, "entropy", entropy)
+            fill(content, "compress_ratio", compress_ratio)
+            fill(content, "payload", None)
+            append(content)
+        return run
+
     @property
     def looks_encrypted(self) -> bool:
         """Heuristic used by entropy-based detectors."""
@@ -128,53 +175,94 @@ class PageState(enum.Enum):
     INVALID = "invalid"
 
 
-@dataclass
+#: Kernel int codes <-> PageState enum members.
+_INT_TO_STATE = {PAGE_FREE: PageState.FREE, PAGE_VALID: PageState.VALID, PAGE_INVALID: PageState.INVALID}
+_STATE_TO_INT = {PageState.FREE: PAGE_FREE, PageState.VALID: PAGE_VALID, PageState.INVALID: PAGE_INVALID}
+
+
 class FlashPage:
-    """One physical flash page."""
+    """View of one physical flash page over the kernel's arrays."""
 
-    ppn: int
-    state: PageState = PageState.FREE
-    content: Optional[PageContent] = None
-    lpn: Optional[int] = None
-    program_timestamp_us: int = 0
+    __slots__ = ("_kernel", "ppn")
 
-    def reset(self) -> None:
-        """Return the page to the erased state."""
-        self.state = PageState.FREE
-        self.content = None
-        self.lpn = None
-        self.program_timestamp_us = 0
+    def __init__(self, kernel: SimKernel, ppn: int) -> None:
+        self._kernel = kernel
+        self.ppn = ppn
+
+    @property
+    def state(self) -> PageState:
+        return _INT_TO_STATE[int(self._kernel.page_state[self.ppn])]
+
+    @property
+    def content(self) -> Optional[PageContent]:
+        return self._kernel.page_content[self.ppn]
+
+    @property
+    def lpn(self) -> Optional[int]:
+        lpn = int(self._kernel.page_lpn[self.ppn])
+        return None if lpn == NO_LPN else lpn
+
+    @property
+    def program_timestamp_us(self) -> int:
+        return int(self._kernel.page_ts[self.ppn])
 
 
-@dataclass
 class FlashBlock:
-    """One erase block: a run of sequentially programmable pages.
+    """View of one erase block over the kernel's arrays.
 
     ``valid_count`` / ``invalid_count`` are maintained incrementally by
-    :class:`FlashArray` so GC victim selection does not have to walk
-    every page of every block; :meth:`count_state` remains as the slow,
+    the kernel so GC victim selection does not have to walk every page
+    of every block; :meth:`count_state` remains as the slow,
     authoritative cross-check used by the tests.
     """
 
-    block_index: int
-    pages: List[FlashPage] = field(default_factory=list)
-    erase_count: int = 0
-    next_program_offset: int = 0
-    valid_count: int = 0
-    invalid_count: int = 0
-    #: Timestamp of the newest program since the last erase.  Programs
-    #: happen in order under a monotonic clock, so this equals the max
-    #: over all pages -- kept incrementally for GC age scoring.
-    last_program_timestamp_us: int = 0
+    __slots__ = ("_kernel", "_array", "block_index")
+
+    def __init__(self, kernel: SimKernel, array: "FlashArray", block_index: int) -> None:
+        self._kernel = kernel
+        self._array = array
+        self.block_index = block_index
+
+    @property
+    def pages(self) -> List[FlashPage]:
+        start = self.block_index * self._kernel.geometry.pages_per_block
+        return [self._array.page(start + offset) for offset in range(self._kernel.geometry.pages_per_block)]
+
+    @property
+    def erase_count(self) -> int:
+        return int(self._kernel.block_erase[self.block_index])
+
+    @erase_count.setter
+    def erase_count(self, value: int) -> None:
+        # Direct assignment (tests / wear injection) bypasses the wear
+        # histogram, exactly as mutating the old dataclass field did;
+        # use FlashArray.set_erase_count to keep statistics consistent.
+        self._kernel.block_erase[self.block_index] = value
+
+    @property
+    def next_program_offset(self) -> int:
+        return int(self._kernel.block_next_off[self.block_index])
+
+    @property
+    def valid_count(self) -> int:
+        return int(self._kernel.block_valid[self.block_index])
+
+    @property
+    def invalid_count(self) -> int:
+        return int(self._kernel.block_invalid[self.block_index])
+
+    @property
+    def last_program_timestamp_us(self) -> int:
+        return int(self._kernel.block_last_ts[self.block_index])
 
     @property
     def size(self) -> int:
-        return len(self.pages)
+        return self._kernel.geometry.pages_per_block
 
     @property
     def is_full(self) -> bool:
         """True once every page in the block has been programmed."""
-        return self.next_program_offset >= len(self.pages)
+        return self.next_program_offset >= self.size
 
     @property
     def is_erased(self) -> bool:
@@ -183,7 +271,7 @@ class FlashBlock:
 
     def count_state(self, state: PageState) -> int:
         """Number of pages currently in ``state`` (authoritative page walk)."""
-        return sum(1 for page in self.pages if page.state is state)
+        return self._kernel.count_state_in_block(self.block_index, _STATE_TO_INT[state])
 
     @property
     def valid_pages(self) -> int:
@@ -195,13 +283,21 @@ class FlashBlock:
 
     @property
     def free_pages(self) -> int:
-        return len(self.pages) - self.next_program_offset
+        return self.size - self.next_program_offset
 
     def iter_pages(self, state: Optional[PageState] = None) -> Iterator[FlashPage]:
         """Iterate pages, optionally filtered by state."""
-        for page in self.pages:
-            if state is None or page.state is state:
-                yield page
+        kernel = self._kernel
+        pages_per_block = kernel.geometry.pages_per_block
+        start = self.block_index * pages_per_block
+        if state is None:
+            for ppn in range(start, start + pages_per_block):
+                yield self._array.page(ppn)
+        else:
+            code = _STATE_TO_INT[state]
+            window = kernel.page_state[start : start + pages_per_block]
+            for offset in np.nonzero(window == code)[0]:
+                yield self._array.page(start + int(offset))
 
 
 class FlashArray:
@@ -209,19 +305,15 @@ class FlashArray:
 
     The array is deliberately policy-free -- it enforces only the NAND
     constraints (program erased pages in order, erase whole blocks) and
-    leaves placement, mapping, and retention to the FTL above it.
+    leaves placement, mapping, and retention to the FTL above it.  All
+    state lives in the shared :class:`~repro.ssd.kernel.SimKernel`.
     """
 
-    def __init__(self, geometry: SSDGeometry) -> None:
+    def __init__(self, geometry: SSDGeometry, kernel: Optional[SimKernel] = None) -> None:
         self.geometry = geometry
-        self._blocks: List[FlashBlock] = []
-        for block_index in range(geometry.total_blocks):
-            first_ppn = geometry.block_to_first_ppn(block_index)
-            pages = [
-                FlashPage(ppn=first_ppn + offset)
-                for offset in range(geometry.pages_per_block)
-            ]
-            self._blocks.append(FlashBlock(block_index=block_index, pages=pages))
+        self.kernel = kernel if kernel is not None else SimKernel(geometry)
+        self._blocks = [FlashBlock(self.kernel, self, index) for index in range(geometry.total_blocks)]
+        self._pages: Dict[int, FlashPage] = {}
         # Incremental wear statistics: erase counts only change in
         # erase(), so the histogram keeps min/max/total O(1) -- the wear
         # leveler consults the spread on every host command.
@@ -238,10 +330,12 @@ class FlashArray:
         return self._blocks[block_index]
 
     def page(self, ppn: int) -> FlashPage:
-        """Return the physical page with the given physical page number."""
-        self.geometry.check_ppn(ppn)
-        block = self._blocks[self.geometry.ppn_to_block(ppn)]
-        return block.pages[self.geometry.ppn_to_page_offset(ppn)]
+        """Return the physical page view with the given physical page number."""
+        view = self._pages.get(ppn)
+        if view is None:
+            self.geometry.check_ppn(ppn)
+            view = self._pages[ppn] = FlashPage(self.kernel, ppn)
+        return view
 
     def iter_blocks(self) -> Iterator[FlashBlock]:
         return iter(self._blocks)
@@ -275,44 +369,56 @@ class FlashArray:
         path caches the open block across a run instead of re-resolving
         it per page.
         """
-        if block.is_full:
-            raise FlashStateError(f"block {block.block_index} has no free pages")
-        page = block.pages[block.next_program_offset]
-        if page.state is not PageState.FREE:
+        kernel = self.kernel
+        block_index = block.block_index
+        offset = int(kernel.block_next_off[block_index])
+        if offset >= self.geometry.pages_per_block:
+            raise FlashStateError(f"block {block_index} has no free pages")
+        ppn = block_index * self.geometry.pages_per_block + offset
+        if kernel.page_state[ppn] != PAGE_FREE:
+            state = _INT_TO_STATE[int(kernel.page_state[ppn])]
             raise FlashStateError(
-                f"page {page.ppn} is {page.state.value}, expected free"
+                f"page {ppn} is {state.value}, expected free"
             )
-        page.state = PageState.VALID
-        page.content = content
-        page.lpn = lpn
-        page.program_timestamp_us = timestamp_us
-        block.next_program_offset += 1
-        block.valid_count += 1
-        if timestamp_us > block.last_program_timestamp_us:
-            block.last_program_timestamp_us = timestamp_us
-        return page.ppn
+        return kernel.program_page(block_index, content, lpn, timestamp_us)
+
+    def program_run(
+        self,
+        block_index: int,
+        contents: List[PageContent],
+        lpns: np.ndarray,
+        timestamp_us: int,
+    ) -> np.ndarray:
+        """Program a run of pages into ``block_index`` in a single array op.
+
+        The batched write path uses this; the caller must have checked
+        the block has ``len(contents)`` free pages (the FTL chunks runs
+        at open-block boundaries, so it always holds).
+        """
+        kernel = self.kernel
+        if int(kernel.block_next_off[block_index]) + len(contents) > self.geometry.pages_per_block:
+            raise FlashStateError(f"block {block_index} has no free pages")
+        return kernel.program_run(block_index, contents, lpns, timestamp_us)
 
     def read(self, ppn: int) -> PageContent:
         """Read the content of a programmed page."""
-        page = self.page(ppn)
-        if page.state is PageState.FREE or page.content is None:
+        self.geometry.check_ppn(ppn)
+        content = self.kernel.page_content[ppn]
+        if content is None:
             raise FlashStateError(f"page {ppn} has never been programmed")
-        return page.content
+        return content
 
     def invalidate(self, ppn: int) -> FlashPage:
         """Mark a valid page invalid (its data remains readable until erase)."""
         self.geometry.check_ppn(ppn)
-        pages_per_block = self.geometry.pages_per_block
-        block = self._blocks[ppn // pages_per_block]
-        page = block.pages[ppn % pages_per_block]
-        if page.state is not PageState.VALID:
+        kernel = self.kernel
+        if kernel.page_state[ppn] != PAGE_VALID:
+            state = _INT_TO_STATE[int(kernel.page_state[ppn])]
             raise FlashStateError(
-                f"page {ppn} is {page.state.value}, expected valid"
+                f"page {ppn} is {state.value}, expected valid"
             )
-        page.state = PageState.INVALID
-        block.valid_count -= 1
-        block.invalid_count += 1
-        return page
+        kernel.invalidate_page(ppn)
+        return self.page(ppn)
 
     def erase(self, block_index: int) -> FlashBlock:
         """Erase a whole block, destroying the data of every page in it."""
@@ -321,14 +427,8 @@ class FlashArray:
             raise FlashStateError(
                 f"block {block_index} still holds {block.valid_pages} valid pages"
             )
-        for page in block.pages:
-            page.reset()
-        block.next_program_offset = 0
         previous = block.erase_count
-        block.erase_count = previous + 1
-        block.valid_count = 0
-        block.invalid_count = 0
-        block.last_program_timestamp_us = 0
+        self.kernel.erase_block(block_index)
         self._total_erases += 1
         histogram = self._erase_histogram
         histogram[previous] -= 1
@@ -361,7 +461,7 @@ class FlashArray:
         if histogram[previous] == 0:
             del histogram[previous]
         histogram[erase_count] = histogram.get(erase_count, 0) + 1
-        block.erase_count = erase_count
+        self.kernel.block_erase[block_index] = erase_count
         self._max_erase = max(histogram)
         self._min_erase = min(histogram)
 
@@ -385,8 +485,5 @@ class FlashArray:
 
     def state_counts(self) -> Dict[PageState, int]:
         """Count pages in each state across the whole array."""
-        counts = {state: 0 for state in PageState}
-        for block in self._blocks:
-            for state in PageState:
-                counts[state] += block.count_state(state)
-        return counts
+        free, valid, invalid = self.kernel.state_counts()
+        return {PageState.FREE: free, PageState.VALID: valid, PageState.INVALID: invalid}

@@ -13,19 +13,35 @@ ransomware defense in the paper builds on -- is delegated to a
   release them under capacity pressure (which the GC attack exploits).
 * RSSD retains *every* stale page and only allows release after the
   page has been offloaded to the remote tier over NVMe-oE.
+
+Since the kernel refactor the mapping table lives in
+:class:`~repro.ssd.kernel.SimKernel` as int columns (``map_ppn`` with
+``-1`` as the unmapped sentinel, plus write-timestamp and version
+columns) instead of a ``Dict[int, PageMetadata]``.  The batch surfaces
+(:meth:`FTL.write_run` / :meth:`FTL.read_run` / :meth:`FTL.trim_run`)
+operate on whole array slices per open-block chunk; the scalar methods
+keep their historical per-op semantics, and :class:`PageMetadata` is
+returned as a point-in-time snapshot of the columns.  Stale pages
+remain identity-bearing :class:`StalePage` objects -- they are the unit
+of retention, offload and recovery and are mutated in place across GC
+relocations -- indexed by their current physical page.
 """
 
 from __future__ import annotations
 
 import enum
 import heapq
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Protocol
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Protocol, Tuple
 
+import numpy as np
+
+from repro.compat import DATACLASS_SLOTS
 from repro.sim import SimClock
 from repro.ssd.errors import CapacityExhaustedError, OutOfRangeError
 from repro.ssd.flash import FlashArray, FlashBlock, PageContent, PageState
 from repro.ssd.geometry import SSDGeometry
+from repro.ssd.kernel import NO_LPN, NO_PPN, PAGE_VALID, SimKernel
 
 
 class InvalidationCause(enum.Enum):
@@ -36,7 +52,7 @@ class InvalidationCause(enum.Enum):
     RELOCATION = "relocation"
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class StalePage:
     """A flash page whose logical address has been superseded or trimmed.
 
@@ -57,9 +73,9 @@ class StalePage:
     relocations: int = 0
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class PageMetadata:
-    """Metadata the FTL keeps per live logical page."""
+    """Snapshot of the mapping columns for one live logical page."""
 
     lpn: int
     ppn: int
@@ -161,9 +177,10 @@ class BlockAllocator:
                 "no free blocks available"
                 + ("" if for_gc else " outside the GC reserve")
             )
+        erase_counts = self._flash.kernel.block_erase
         while True:
             erase_count, block_index = heapq.heappop(self._heap)
-            live_count = self._flash.block(block_index).erase_count
+            live_count = int(erase_counts[block_index])
             if live_count != erase_count:
                 # Externally mutated while free: re-key and try again.
                 heapq.heappush(self._heap, (live_count, block_index))
@@ -176,7 +193,7 @@ class BlockAllocator:
         if block_index in self._free_set:
             raise ValueError(f"block {block_index} is already free")
         heapq.heappush(
-            self._heap, (self._flash.block(block_index).erase_count, block_index)
+            self._heap, (int(self._flash.kernel.block_erase[block_index]), block_index)
         )
         self._free_set.add(block_index)
 
@@ -199,13 +216,59 @@ class FTLStats:
     reclaim_pressure_events: int = 0
 
 
+class _MappingView:
+    """Read-only dict-like view of the kernel's mapping columns.
+
+    Kept so callers (and the equivalence tests) that inspected the old
+    ``Dict[int, PageMetadata]`` keep working; entries are materialised
+    as snapshots on access.
+    """
+
+    def __init__(self, ftl: "FTL") -> None:
+        self._ftl = ftl
+
+    def _mapped_lpns(self) -> np.ndarray:
+        return np.nonzero(self._ftl.kernel.map_ppn >= 0)[0]
+
+    def __len__(self) -> int:
+        return self._ftl.kernel.mapped_count
+
+    def __contains__(self, lpn: int) -> bool:
+        kernel = self._ftl.kernel
+        return 0 <= lpn < len(kernel.map_ppn) and kernel.map_ppn[lpn] >= 0
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._mapped_lpns().tolist())
+
+    def get(self, lpn: int, default=None):
+        meta = self._ftl.lookup(lpn)
+        return meta if meta is not None else default
+
+    def __getitem__(self, lpn: int) -> PageMetadata:
+        meta = self._ftl.lookup(lpn)
+        if meta is None:
+            raise KeyError(lpn)
+        return meta
+
+    def keys(self) -> List[int]:
+        return self._mapped_lpns().tolist()
+
+    def values(self) -> List[PageMetadata]:
+        lookup = self._ftl.lookup
+        return [lookup(lpn) for lpn in self.keys()]
+
+    def items(self) -> List[Tuple[int, PageMetadata]]:
+        lookup = self._ftl.lookup
+        return [(lpn, lookup(lpn)) for lpn in self.keys()]
+
+
 class FTL:
     """Page-mapping flash translation layer.
 
     Host writes go to the currently open "host" block; GC relocations go
     to a separate open "gc" block so hot and cold data do not mix.  The
-    mapping table is a plain dictionary from logical page number (LPN)
-    to physical page number (PPN).
+    mapping table is the kernel's ``map_ppn`` int column (``-1`` =
+    unmapped) with parallel write-timestamp and version columns.
     """
 
     def __init__(
@@ -220,6 +283,7 @@ class FTL:
             raise ValueError("gc_threshold_blocks must be at least 2")
         self.geometry = geometry
         self.flash = flash
+        self.kernel: SimKernel = flash.kernel
         self.clock = clock
         self.retention_policy: RetentionPolicy = (
             retention_policy if retention_policy is not None else PassthroughRetention()
@@ -227,7 +291,6 @@ class FTL:
         self.gc_threshold_blocks = gc_threshold_blocks
         self.allocator = BlockAllocator(flash)
         self.stats = FTLStats()
-        self._mapping: Dict[int, PageMetadata] = {}
         self._stale: Dict[int, StalePage] = {}  # keyed by current ppn
         # Same records, bucketed by erase block, so GC victim accounting
         # only visits a block's own stale records instead of re-walking
@@ -236,16 +299,20 @@ class FTL:
         # Blocks currently holding at least one invalid page (cleared on
         # erase), so GC candidate enumeration skips untouched blocks.
         self._invalid_blocks: set = set()
-        self._version_counter: Dict[int, int] = {}
         self._host_block: Optional[int] = None
         self._gc_block: Optional[int] = None
 
     # -- introspection -----------------------------------------------------
 
     @property
+    def _mapping(self) -> _MappingView:
+        """Dict-like view over the kernel mapping columns (tests/tools)."""
+        return _MappingView(self)
+
+    @property
     def mapped_pages(self) -> int:
         """Number of live logical pages."""
-        return len(self._mapping)
+        return self.kernel.mapped_count
 
     @property
     def stale_pages(self) -> int:
@@ -255,17 +322,27 @@ class FTL:
     @property
     def free_pages(self) -> int:
         """Free (never-programmed-since-erase) pages across the device."""
-        free_in_pool = self.allocator.free_blocks * self.geometry.pages_per_block
+        pages_per_block = self.geometry.pages_per_block
+        free_in_pool = self.allocator.free_blocks * pages_per_block
         open_free = 0
         for block_index in (self._host_block, self._gc_block):
             if block_index is not None:
-                open_free += self.flash.block(block_index).free_pages
+                open_free += pages_per_block - int(self.kernel.block_next_off[block_index])
         return free_in_pool + open_free
 
     def lookup(self, lpn: int) -> Optional[PageMetadata]:
         """Return the live mapping for ``lpn`` or ``None`` if unmapped."""
         self._check_lpn(lpn)
-        return self._mapping.get(lpn)
+        kernel = self.kernel
+        ppn = int(kernel.map_ppn[lpn])
+        if ppn < 0:
+            return None
+        return PageMetadata(
+            lpn=lpn,
+            ppn=ppn,
+            written_us=int(kernel.map_written_us[lpn]),
+            version=int(kernel.map_version[lpn]),
+        )
 
     def iter_stale(self) -> Iterable[StalePage]:
         """Iterate stale pages currently retained on flash."""
@@ -277,6 +354,17 @@ class FTL:
         records.sort(key=lambda record: record.version)
         return records
 
+    def stale_entropy_profile(self, encrypted_threshold: float = 7.2) -> Dict[str, float]:
+        """Vectorized entropy accounting over the retained stale pool.
+
+        Aggregates straight off the kernel's per-page entropy column
+        (mean entropy and encrypted-looking fraction of retained stale
+        data) without touching the content objects -- the accounting
+        RSSD's retention/detection reporting builds on.
+        """
+        ppns = np.fromiter(self._stale.keys(), dtype=np.int64, count=len(self._stale))
+        return self.kernel.entropy_profile(ppns, encrypted_threshold)
+
     def _check_lpn(self, lpn: int) -> None:
         if not 0 <= lpn < self.geometry.exported_pages:
             raise OutOfRangeError(
@@ -287,29 +375,40 @@ class FTL:
 
     def read(self, lpn: int) -> Optional[PageContent]:
         """Read the live content of ``lpn`` (``None`` for unmapped pages)."""
-        meta = self.lookup(lpn)
-        if meta is None:
+        self._check_lpn(lpn)
+        ppn = int(self.kernel.map_ppn[lpn])
+        if ppn < 0:
             return None
-        return self.flash.read(meta.ppn)
+        return self.flash.read(ppn)
 
     def write(self, lpn: int, content: PageContent) -> PageMetadata:
         """Write ``content`` to ``lpn``, invalidating any previous version.
 
-        Returns the new mapping entry.  Flash page programs performed
-        here are reported to the caller via the returned metadata and
-        the FTL counters; host-level latency accounting happens in the
-        device layer.
+        Returns the new mapping entry (a snapshot).  Flash page programs
+        performed here are reported to the caller via the returned
+        metadata and the FTL counters; host-level latency accounting
+        happens in the device layer.
         """
         self._check_lpn(lpn)
-        previous = self._mapping.get(lpn)
+        kernel = self.kernel
+        previous_ppn = int(kernel.map_ppn[lpn])
+        if previous_ppn >= 0:
+            previous_written = int(kernel.map_written_us[lpn])
+            previous_version = int(kernel.map_version[lpn])
         ppn = self._program_host_page(content, lpn)
-        version = self._next_version(lpn)
-        meta = PageMetadata(
-            lpn=lpn, ppn=ppn, written_us=self.clock.now_us, version=version
-        )
-        self._mapping[lpn] = meta
-        if previous is not None:
-            self._invalidate_physical(previous, InvalidationCause.OVERWRITE)
+        now_us = self.clock.now_us
+        version = int(kernel.map_version[lpn]) + 1
+        kernel.map_ppn[lpn] = ppn
+        kernel.map_written_us[lpn] = now_us
+        kernel.map_version[lpn] = version
+        meta = PageMetadata(lpn=lpn, ppn=ppn, written_us=now_us, version=version)
+        if previous_ppn >= 0:
+            self._invalidate_ppn(
+                lpn, previous_ppn, previous_written, previous_version,
+                InvalidationCause.OVERWRITE,
+            )
+        else:
+            kernel.mapped_count += 1
         return meta
 
     def trim(self, lpn: int) -> Optional[StalePage]:
@@ -321,10 +420,15 @@ class FTL:
         not mapped.
         """
         self._check_lpn(lpn)
-        previous = self._mapping.pop(lpn, None)
-        if previous is None:
+        kernel = self.kernel
+        ppn = int(kernel.map_ppn[lpn])
+        if ppn < 0:
             return None
-        return self._invalidate_physical(previous, InvalidationCause.TRIM)
+        written_us = int(kernel.map_written_us[lpn])
+        version = int(kernel.map_version[lpn])
+        kernel.map_ppn[lpn] = NO_PPN
+        kernel.mapped_count -= 1
+        return self._invalidate_ppn(lpn, ppn, written_us, version, InvalidationCause.TRIM)
 
     # -- vectorized host operations ------------------------------------------
 
@@ -333,73 +437,114 @@ class FTL:
         start_lpn: int,
         contents: List[PageContent],
         gc_check=None,
-        on_page=None,
-    ) -> List[PageMetadata]:
-        """Write a run of consecutive logical pages with batched bookkeeping.
+        on_chunk=None,
+    ) -> None:
+        """Write a run of consecutive logical pages with array bookkeeping.
 
         Performs exactly the state transitions of calling :meth:`write`
-        once per page, in page order, with per-page dispatch and bounds
-        checks hoisted out of the loop.  ``gc_check`` is invoked before
-        each page (mirroring the device's per-page GC guard) and
-        ``on_page`` after it (the device hooks latency/metrics
-        accounting there), so interleaving matches the per-op path and
-        batched writes stay bit-identical to it.
+        once per page, in page order, but executes them one open-block
+        *chunk* at a time: the run is split at block boundaries, each
+        chunk is programmed with a single kernel array op, and the
+        superseded pages are invalidated in bulk.
+
+        ``gc_check`` (the device's per-page GC guard) runs once per
+        chunk, which is equivalent to the per-op path's per-page guard
+        because ``needs_gc()`` only changes when the allocator hands out
+        or takes back a block -- never in the middle of an open-block
+        chunk.  The one corner where that argument fails -- the pool is
+        still at/below the threshold right after a check (GC stalled, or
+        the block opened for this chunk drained the pool) -- degrades to
+        one-page chunks, which *is* the per-op path.  ``on_chunk`` is
+        invoked after each chunk with the chunk's contents; the device
+        hooks buffer-admission/latency/metrics accounting there.
         """
         npages = len(contents)
         if npages == 0:
             raise ValueError("cannot write an empty run of pages")
         self._check_lpn(start_lpn)
         self._check_lpn(start_lpn + npages - 1)
-        mapping = self._mapping
-        versions = self._version_counter
+        kernel = self.kernel
         clock = self.clock
-        invalidate = self._invalidate_physical
-        flash = self.flash
-        program_into = flash.program_into
-        # The open host block stays valid across the whole run: GC never
-        # victimises or closes an open block, so it only needs
-        # re-resolving when it fills up.  The clock only moves while GC
-        # runs, so the cached timestamp is refreshed after each check.
-        block = flash.block(self._host_block) if self._host_block is not None else None
-        now_us = clock.now_us
-        metas: List[PageMetadata] = []
+        pages_per_block = self.geometry.pages_per_block
+        map_ppn = kernel.map_ppn
+        map_written = kernel.map_written_us
+        map_version = kernel.map_version
+        block_next_off = kernel.block_next_off
+        position = 0
         lpn = start_lpn
-        for content in contents:
+        while position < npages:
             if gc_check is not None:
                 gc_check()
-                now_us = clock.now_us
-            previous = mapping.get(lpn)
-            if block is None or block.is_full:
-                block = flash.block(self._open_block("host"))
-            ppn = program_into(block, content, lpn, now_us)
-            version = versions.get(lpn, 0) + 1
-            versions[lpn] = version
-            meta = PageMetadata(
-                lpn=lpn, ppn=ppn, written_us=now_us, version=version
+            now_us = clock.now_us
+            block_index = self._host_block
+            if block_index is None or block_next_off[block_index] >= pages_per_block:
+                block_index = self._open_block("host")
+            chunk = min(npages - position, pages_per_block - int(block_next_off[block_index]))
+            if chunk > 1 and gc_check is not None and self.needs_gc():
+                # The pool is at/below the GC threshold even after the
+                # check above (stalled GC, or opening this chunk's block
+                # crossed the threshold): the per-op path would re-run
+                # GC before the *next* page, so program one page only
+                # and loop back to the guard.
+                chunk = 1
+            end = lpn + chunk
+            window = slice(lpn, end)
+            previous_ppns = map_ppn[window].copy()
+            mapped = np.nonzero(previous_ppns >= 0)[0]
+            if len(mapped):
+                previous_written = map_written[window][mapped]
+                previous_versions = map_version[window][mapped]
+            chunk_contents = contents[position : position + chunk]
+            ppns = self.flash.program_run(
+                block_index,
+                chunk_contents,
+                np.arange(lpn, end, dtype=np.int64),
+                now_us,
             )
-            mapping[lpn] = meta
-            if previous is not None:
-                invalidate(previous, InvalidationCause.OVERWRITE)
-            metas.append(meta)
-            if on_page is not None:
-                on_page(content)
-            lpn += 1
-        return metas
+            map_ppn[window] = ppns
+            map_written[window] = now_us
+            map_version[window] += 1
+            kernel.mapped_count += chunk - len(mapped)
+            if len(mapped):
+                old_ppns = previous_ppns[mapped]
+                kernel.invalidate_pages(old_ppns)
+                self._register_stale_run(
+                    (lpn + mapped).tolist(),
+                    old_ppns.tolist(),
+                    previous_written.tolist(),
+                    previous_versions.tolist(),
+                    InvalidationCause.OVERWRITE,
+                    now_us,
+                )
+            if on_chunk is not None:
+                on_chunk(chunk_contents)
+            position += chunk
+            lpn = end
 
     def read_run(self, start_lpn: int, npages: int) -> List[Optional[PageContent]]:
         """Read a run of consecutive logical pages (``None`` for unmapped)."""
         self._check_lpn(start_lpn)
         if npages > 0:
             self._check_lpn(start_lpn + npages - 1)
-        mapping = self._mapping
-        flash_read = self.flash.read
+        page_content = self.kernel.page_content
         return [
-            flash_read(meta.ppn) if (meta := mapping.get(lpn)) is not None else None
-            for lpn in range(start_lpn, start_lpn + npages)
+            page_content[ppn] if ppn >= 0 else None
+            for ppn in self.kernel.map_ppn[start_lpn : start_lpn + npages].tolist()
         ]
 
+    def read_ppns(self, start_lpn: int, npages: int) -> np.ndarray:
+        """The mapping column for a run (``-1`` = unmapped; no content objects).
+
+        The device read fast path uses this to account latency without
+        materialising per-page content descriptors.
+        """
+        self._check_lpn(start_lpn)
+        if npages > 0:
+            self._check_lpn(start_lpn + npages - 1)
+        return self.kernel.read_ppns(start_lpn, npages)
+
     def trim_run(self, start_lpn: int, npages: int) -> List[StalePage]:
-        """Trim a run of consecutive logical pages with batched bookkeeping.
+        """Trim a run of consecutive logical pages with array bookkeeping.
 
         Equivalent to calling :meth:`trim` once per page in order;
         returns the stale records of the pages that were mapped.
@@ -407,42 +552,105 @@ class FTL:
         self._check_lpn(start_lpn)
         if npages > 0:
             self._check_lpn(start_lpn + npages - 1)
-        pop = self._mapping.pop
-        invalidate = self._invalidate_physical
-        records: List[StalePage] = []
-        for lpn in range(start_lpn, start_lpn + npages):
-            previous = pop(lpn, None)
-            if previous is not None:
-                records.append(invalidate(previous, InvalidationCause.TRIM))
-        return records
+        kernel = self.kernel
+        window = slice(start_lpn, start_lpn + npages)
+        ppn_window = kernel.map_ppn[window]
+        mapped = np.nonzero(ppn_window >= 0)[0]
+        if not len(mapped):
+            return []
+        old_ppns = ppn_window[mapped].copy()
+        written = kernel.map_written_us[window][mapped]
+        versions = kernel.map_version[window][mapped]
+        ppn_window[mapped] = NO_PPN
+        kernel.mapped_count -= len(mapped)
+        kernel.invalidate_pages(old_ppns)
+        return self._register_stale_run(
+            (start_lpn + mapped).tolist(),
+            old_ppns.tolist(),
+            written.tolist(),
+            versions.tolist(),
+            InvalidationCause.TRIM,
+            self.clock.now_us,
+        )
 
     # -- internals -----------------------------------------------------------
 
-    def _next_version(self, lpn: int) -> int:
-        version = self._version_counter.get(lpn, 0) + 1
-        self._version_counter[lpn] = version
-        return version
-
-    def _invalidate_physical(
-        self, meta: PageMetadata, cause: InvalidationCause
+    def _invalidate_ppn(
+        self,
+        lpn: int,
+        ppn: int,
+        written_us: int,
+        version: int,
+        cause: InvalidationCause,
     ) -> StalePage:
-        page = self.flash.invalidate(meta.ppn)
+        """Scalar invalidation: NAND state check plus stale bookkeeping."""
+        page = self.flash.invalidate(ppn)
+        content = page.content
         record = StalePage(
-            lpn=meta.lpn,
-            ppn=meta.ppn,
-            content=page.content if page.content is not None else PageContent.synthetic(0, 0),
-            written_us=meta.written_us,
+            lpn=lpn,
+            ppn=ppn,
+            content=content if content is not None else PageContent.synthetic(0, 0),
+            written_us=written_us,
             invalidated_us=self.clock.now_us,
             cause=cause,
-            version=meta.version,
+            version=version,
         )
-        self._stale[meta.ppn] = record
-        block_index = meta.ppn // self.geometry.pages_per_block
-        self._stale_by_block.setdefault(block_index, {})[meta.ppn] = record
-        self._invalid_blocks.add(block_index)
+        self._index_stale(record)
         self.stats.stale_pages_created += 1
         self.retention_policy.on_invalidate(record)
         return record
+
+    def _register_stale_run(
+        self,
+        lpns: List[int],
+        ppns: List[int],
+        written: List[int],
+        versions: List[int],
+        cause: InvalidationCause,
+        invalidated_us: int,
+    ) -> List[StalePage]:
+        """Build and index stale records for a bulk-invalidated page set.
+
+        The physical pages have already been flipped INVALID by the
+        kernel (they are guaranteed VALID: they came from the mapping
+        column); records are created and reported to the retention
+        policy in LPN order, matching the per-op path.
+        """
+        stale = self._stale
+        by_block = self._stale_by_block
+        invalid_blocks = self._invalid_blocks
+        page_content = self.kernel.page_content
+        pages_per_block = self.geometry.pages_per_block
+        on_invalidate = self.retention_policy.on_invalidate
+        records: List[StalePage] = []
+        for lpn, ppn, written_us, version in zip(lpns, ppns, written, versions):
+            record = StalePage(
+                lpn=lpn,
+                ppn=ppn,
+                content=page_content[ppn],
+                written_us=written_us,
+                invalidated_us=invalidated_us,
+                cause=cause,
+                version=version,
+            )
+            stale[ppn] = record
+            block_index = ppn // pages_per_block
+            bucket = by_block.get(block_index)
+            if bucket is None:
+                bucket = by_block[block_index] = {}
+            bucket[ppn] = record
+            invalid_blocks.add(block_index)
+            records.append(record)
+            on_invalidate(record)
+        self.stats.stale_pages_created += len(records)
+        return records
+
+    def _index_stale(self, record: StalePage) -> None:
+        ppn = record.ppn
+        self._stale[ppn] = record
+        block_index = ppn // self.geometry.pages_per_block
+        self._stale_by_block.setdefault(block_index, {})[ppn] = record
+        self._invalid_blocks.add(block_index)
 
     def _open_block(self, purpose: str) -> int:
         """Allocate and open a new block for host writes or GC relocation."""
@@ -462,7 +670,10 @@ class FTL:
 
     def _program(self, content: PageContent, lpn: Optional[int], purpose: str) -> int:
         block_index = self._host_block if purpose == "host" else self._gc_block
-        if block_index is None or self.flash.block(block_index).is_full:
+        if (
+            block_index is None
+            or self.kernel.block_next_off[block_index] >= self.geometry.pages_per_block
+        ):
             block_index = self._open_block(purpose)
         ppn = self.flash.program(
             block_index, content, lpn, timestamp_us=self.clock.now_us
@@ -513,14 +724,14 @@ class FTL:
 
     def relocate_valid_page(self, ppn: int) -> int:
         """Move a live page out of a GC victim block.  Returns the new ppn."""
-        page = self.flash.page(ppn)
-        if page.state is not PageState.VALID or page.lpn is None:
+        kernel = self.kernel
+        if kernel.page_state[ppn] != PAGE_VALID or kernel.page_lpn[ppn] == NO_LPN:
             raise ValueError(f"page {ppn} is not a live valid page")
+        lpn = int(kernel.page_lpn[ppn])
         content = self.flash.read(ppn)
-        new_ppn = self.program_relocation_page(content, page.lpn)
-        meta = self._mapping.get(page.lpn)
-        if meta is not None and meta.ppn == ppn:
-            meta.ppn = new_ppn
+        new_ppn = self.program_relocation_page(content, lpn)
+        if int(kernel.map_ppn[lpn]) == ppn:
+            kernel.map_ppn[lpn] = new_ppn
         self.flash.invalidate(ppn)
         self._invalid_blocks.add(ppn // self.geometry.pages_per_block)
         return new_ppn

@@ -16,6 +16,7 @@ from typing import List, Optional, Tuple
 from repro.ssd.errors import CapacityExhaustedError
 from repro.ssd.flash import FlashBlock, PageState
 from repro.ssd.ftl import FTL, StalePage
+from repro.ssd.kernel import PAGE_INVALID, PAGE_VALID
 
 
 @dataclass
@@ -162,17 +163,29 @@ class GarbageCollector:
         return result
 
     def _reclaim_block(self, ftl: FTL, victim: FlashBlock) -> GCResult:
-        """Relocate / release every page of ``victim`` and erase it."""
+        """Relocate / release every page of ``victim`` and erase it.
+
+        Page states are snapshotted straight off the kernel's state
+        column (relocations performed during the pass only touch the
+        processed page itself and the separate open GC block, never a
+        later page of the victim, so the snapshot stays faithful).
+        """
         result = GCResult()
-        for page in list(victim.iter_pages()):
-            if page.state is PageState.VALID:
-                ftl.relocate_valid_page(page.ppn)
+        kernel = ftl.kernel
+        pages_per_block = ftl.geometry.pages_per_block
+        start = victim.block_index * pages_per_block
+        states = kernel.page_state[start : start + pages_per_block].tolist()
+        may_release = ftl.retention_policy.may_release
+        for offset, state in enumerate(states):
+            ppn = start + offset
+            if state == PAGE_VALID:
+                ftl.relocate_valid_page(ppn)
                 result.valid_pages_relocated += 1
-            elif page.state is PageState.INVALID:
-                record = ftl.stale_record_at(page.ppn)
+            elif state == PAGE_INVALID:
+                record = ftl.stale_record_at(ppn)
                 if record is None:
                     continue
-                if ftl.retention_policy.may_release(record):
+                if may_release(record):
                     ftl.release_stale_page(record)
                     result.stale_pages_released += 1
                 else:

@@ -6,6 +6,8 @@ import enum
 from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
+from repro.compat import DATACLASS_SLOTS
+
 
 class TraceOp(enum.Enum):
     """Operation types that appear in block traces."""
@@ -16,7 +18,7 @@ class TraceOp(enum.Enum):
     FLUSH = "flush"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class TraceRecord:
     """One block-level I/O request.
 

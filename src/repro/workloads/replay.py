@@ -169,7 +169,8 @@ class BatchTraceReplayer(TraceReplayer):
         honor_timestamps = self.honor_timestamps
         capacity = device.capacity_pages
         page_size = device.page_size
-        synthetic = PageContent.synthetic
+        synthetic_run = PageContent.synthetic_run
+        mask = 0xFFFFFFFFFFFFFFFF
         write_seq = self._write_sequence
         advance_to = device.clock.advance_to
         write_batch = device.write_batch
@@ -192,48 +193,59 @@ class BatchTraceReplayer(TraceReplayer):
                 index += 1
                 continue
             stream = record.stream_id
-            npages = record.npages or 1
-            start_lba = (
-                record.lba % max(1, capacity - record.npages)
-                if record.npages
-                else record.lba
-            )
+            npages = record.npages
+            raw_lba = record.lba
+            if npages:
+                modulus = capacity - npages
+                start_lba = raw_lba % (modulus if modulus > 1 else 1)
+            else:
+                npages = 1
+                start_lba = raw_lba
             pages = npages
             merged = 1
             if op is WRITE:
-                contents = []
-                for offset in range(npages):
-                    write_seq += 1
-                    fingerprint = hash(
-                        (stream, record.lba + offset, write_seq)
-                    ) & 0xFFFFFFFFFFFFFFFF
-                    contents.append(
-                        synthetic(fingerprint, page_size, record.entropy, record.compress_ratio)
-                    )
+                contents = synthetic_run(
+                    [
+                        hash((stream, raw_lba + offset, write_seq + 1 + offset)) & mask
+                        for offset in range(npages)
+                    ],
+                    page_size,
+                    record.entropy,
+                    record.compress_ratio,
+                )
+                write_seq += npages
             cursor = index + 1
             while cursor < total:
                 nxt = trace[cursor]
                 if nxt.op is not op or nxt.stream_id != stream:
                     break
-                next_pages = nxt.npages or 1
-                if pages + next_pages > max_pages:
-                    break
-                lba = (
-                    nxt.lba % max(1, capacity - nxt.npages)
-                    if nxt.npages
-                    else nxt.lba
-                )
+                next_pages = nxt.npages
+                raw_lba = nxt.lba
+                if next_pages:
+                    if pages + next_pages > max_pages:
+                        break
+                    modulus = capacity - next_pages
+                    lba = raw_lba % (modulus if modulus > 1 else 1)
+                else:
+                    next_pages = 1
+                    if pages + 1 > max_pages:
+                        break
+                    lba = raw_lba
                 if lba != start_lba + pages:
                     break
                 if op is WRITE:
-                    for offset in range(next_pages):
-                        write_seq += 1
-                        fingerprint = hash(
-                            (stream, nxt.lba + offset, write_seq)
-                        ) & 0xFFFFFFFFFFFFFFFF
-                        contents.append(
-                            synthetic(fingerprint, page_size, nxt.entropy, nxt.compress_ratio)
+                    contents.extend(
+                        synthetic_run(
+                            [
+                                hash((stream, raw_lba + offset, write_seq + 1 + offset)) & mask
+                                for offset in range(next_pages)
+                            ],
+                            page_size,
+                            nxt.entropy,
+                            nxt.compress_ratio,
                         )
+                    )
+                    write_seq += next_pages
                 pages += next_pages
                 merged += 1
                 cursor += 1

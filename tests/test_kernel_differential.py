@@ -1,0 +1,263 @@
+"""Differential property suite: array kernel vs the dict-semantics oracle.
+
+The struct-of-arrays :class:`repro.ssd.kernel.SimKernel` replaced the
+original ``Dict[int, PageMetadata]`` mapping and per-object page state.
+These properties replay hypothesis-generated op streams (writes, reads,
+trims and forced GC passes, in arbitrary interleavings) against the
+kernel-backed FTL and against a tiny pure-dict reference model with the
+pre-refactor semantics, then require the two to agree on every logical
+observable: live mapping, fingerprints, per-LPN version counters,
+mapped-page counts and the retained stale history.
+
+A second property pins the scalar-vs-batched differential: the same op
+stream applied through the per-op methods and through the run-based
+batch surfaces must leave *bit-identical kernel state* (including
+physical placement, because both paths share the allocator and chunk at
+the same block boundaries).
+"""
+
+from collections import defaultdict
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import SimClock
+from repro.ssd.flash import FlashArray, PageContent
+from repro.ssd.ftl import FTL, PassthroughRetention
+from repro.ssd.gc import GreedyGC
+from repro.ssd.geometry import SSDGeometry
+from repro.ssd.kernel import PAGE_INVALID, PAGE_VALID
+
+#: Narrow LPN window so streams revisit addresses (overwrites + trims).
+LPN_SPACE = 48
+MAX_RUN = 6
+
+
+class DictFTLOracle:
+    """Pre-refactor reference semantics kept as plain dicts."""
+
+    def __init__(self):
+        self.mapping = {}
+        self.versions = defaultdict(int)
+        self.stale = defaultdict(list)
+
+    def write(self, lpn, fingerprint):
+        if lpn in self.mapping:
+            self.stale[lpn].append(self.mapping[lpn])
+        self.versions[lpn] += 1
+        self.mapping[lpn] = fingerprint
+
+    def trim(self, lpn):
+        if lpn in self.mapping:
+            self.stale[lpn].append(self.mapping.pop(lpn))
+
+    def read(self, lpn):
+        return self.mapping.get(lpn)
+
+
+class RetainEverything(PassthroughRetention):
+    """RSSD-style policy: GC may relocate stale pages but never drop them."""
+
+    def may_release(self, record):
+        return False
+
+    def reclaim_pressure(self, ftl, needed_pages):
+        return 0
+
+
+def build_ftl(retention=None):
+    geometry = SSDGeometry.tiny()
+    return FTL(
+        geometry,
+        FlashArray(geometry),
+        SimClock(),
+        retention_policy=retention,
+        gc_threshold_blocks=4,
+    )
+
+
+def content_for(tag):
+    return PageContent.synthetic(fingerprint=tag, length=4096)
+
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("write"),
+            st.integers(min_value=0, max_value=LPN_SPACE - MAX_RUN),
+            st.integers(min_value=1, max_value=MAX_RUN),
+        ),
+        st.tuples(
+            st.just("trim"),
+            st.integers(min_value=0, max_value=LPN_SPACE - MAX_RUN),
+            st.integers(min_value=1, max_value=MAX_RUN),
+        ),
+        st.tuples(
+            st.just("read"),
+            st.integers(min_value=0, max_value=LPN_SPACE - MAX_RUN),
+            st.integers(min_value=1, max_value=MAX_RUN),
+        ),
+        st.tuples(st.just("gc"), st.just(0), st.just(0)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def apply_scalar(ftl, gc, op, lpn, npages, tagger):
+    """Apply one op through the per-op (pre-refactor shaped) surfaces."""
+    if op == "write":
+        for offset in range(npages):
+            ftl.write(lpn + offset, content_for(tagger()))
+    elif op == "trim":
+        for offset in range(npages):
+            ftl.trim(lpn + offset)
+    elif op == "read":
+        return [
+            c.fingerprint if c is not None else None
+            for c in (ftl.read(lpn + offset) for offset in range(npages))
+        ]
+    else:
+        gc.collect(ftl, force=True)
+    return None
+
+
+def apply_batched(ftl, gc, op, lpn, npages, tagger):
+    """Apply one op through the kernel's run-based batch surfaces."""
+    if op == "write":
+        ftl.write_run(lpn, [content_for(tagger()) for _ in range(npages)])
+    elif op == "trim":
+        ftl.trim_run(lpn, npages)
+    elif op == "read":
+        return [
+            c.fingerprint if c is not None else None
+            for c in ftl.read_run(lpn, npages)
+        ]
+    else:
+        gc.collect(ftl, force=True)
+    return None
+
+
+def make_tagger():
+    counter = [0]
+
+    def tagger():
+        counter[0] += 1
+        return counter[0]
+
+    return tagger
+
+
+def assert_matches_oracle(ftl, oracle, check_stale):
+    for lpn in range(LPN_SPACE):
+        snapshot = ftl.lookup(lpn)
+        expected = oracle.read(lpn)
+        if expected is None:
+            assert snapshot is None
+        else:
+            assert snapshot is not None
+            assert ftl.read(lpn).fingerprint == expected
+            assert snapshot.version == oracle.versions[lpn]
+    assert ftl.mapped_pages == len(oracle.mapping)
+    if check_stale:
+        retained = defaultdict(list)
+        for record in ftl._stale.values():
+            assert not record.released
+            retained[record.lpn].append(record.content.fingerprint)
+        for lpn in range(LPN_SPACE):
+            assert sorted(retained.get(lpn, [])) == sorted(oracle.stale.get(lpn, []))
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=40, deadline=None)
+def test_kernel_ftl_matches_dict_oracle_with_full_retention(ops):
+    """Any op interleaving leaves kernel state equal to the dict model.
+
+    With a retain-everything policy GC may move pages but can never
+    destroy data, so the oracle's retained history must survive exactly.
+    """
+    ftl = build_ftl(retention=RetainEverything())
+    gc = GreedyGC(max_blocks_per_pass=2)
+    oracle = DictFTLOracle()
+    tag = make_tagger()
+    oracle_tag = make_tagger()
+    for op, lpn, npages in ops:
+        got = apply_batched(ftl, gc, op, lpn, npages, tag)
+        if op == "write":
+            for offset in range(npages):
+                oracle.write(lpn + offset, oracle_tag())
+        elif op == "trim":
+            for offset in range(npages):
+                oracle.trim(lpn + offset)
+        elif op == "read":
+            expected = [oracle.read(lpn + offset) for offset in range(npages)]
+            assert got == expected
+    assert_matches_oracle(ftl, oracle, check_stale=True)
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=40, deadline=None)
+def test_kernel_ftl_matches_dict_oracle_with_passthrough_gc(ops):
+    """With releasable stale data, the live mapping still matches exactly."""
+    ftl = build_ftl()
+    gc = GreedyGC(max_blocks_per_pass=2)
+    oracle = DictFTLOracle()
+    tag = make_tagger()
+    oracle_tag = make_tagger()
+    for op, lpn, npages in ops:
+        apply_batched(ftl, gc, op, lpn, npages, tag)
+        if op == "write":
+            for offset in range(npages):
+                oracle.write(lpn + offset, oracle_tag())
+        elif op == "trim":
+            for offset in range(npages):
+                oracle.trim(lpn + offset)
+    assert_matches_oracle(ftl, oracle, check_stale=False)
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=40, deadline=None)
+def test_scalar_and_batched_paths_produce_identical_kernel_state(ops):
+    """Per-op and run-based surfaces leave bit-identical kernel columns."""
+    scalar_ftl = build_ftl(retention=RetainEverything())
+    batched_ftl = build_ftl(retention=RetainEverything())
+    scalar_gc = GreedyGC(max_blocks_per_pass=2)
+    batched_gc = GreedyGC(max_blocks_per_pass=2)
+    scalar_tag = make_tagger()
+    batched_tag = make_tagger()
+    for op, lpn, npages in ops:
+        scalar_got = apply_scalar(scalar_ftl, scalar_gc, op, lpn, npages, scalar_tag)
+        batched_got = apply_batched(batched_ftl, batched_gc, op, lpn, npages, batched_tag)
+        assert scalar_got == batched_got
+    a, b = scalar_ftl.kernel, batched_ftl.kernel
+    assert np.array_equal(a.map_ppn, b.map_ppn)
+    assert np.array_equal(a.map_version, b.map_version)
+    assert np.array_equal(a.page_state, b.page_state)
+    assert np.array_equal(a.page_lpn, b.page_lpn)
+    assert np.array_equal(a.block_valid, b.block_valid)
+    assert np.array_equal(a.block_invalid, b.block_invalid)
+    assert np.array_equal(a.block_erase, b.block_erase)
+    assert a.mapped_count == b.mapped_count
+    fingerprints_a = [c.fingerprint if c is not None else None for c in a.page_content]
+    fingerprints_b = [c.fingerprint if c is not None else None for c in b.page_content]
+    assert fingerprints_a == fingerprints_b
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=25, deadline=None)
+def test_kernel_counters_stay_internally_consistent(ops):
+    """Block counters, state column and mapping agree after any stream."""
+    ftl = build_ftl(retention=RetainEverything())
+    gc = GreedyGC(max_blocks_per_pass=2)
+    tag = make_tagger()
+    for op, lpn, npages in ops:
+        apply_batched(ftl, gc, op, lpn, npages, tag)
+    kernel = ftl.kernel
+    ppb = ftl.geometry.pages_per_block
+    for block in range(ftl.geometry.total_blocks):
+        window = kernel.page_state[block * ppb : (block + 1) * ppb]
+        assert int(kernel.block_valid[block]) == int((window == PAGE_VALID).sum())
+        assert int(kernel.block_invalid[block]) == int((window == PAGE_INVALID).sum())
+    free, valid, invalid = kernel.state_counts()
+    assert free + valid + invalid == ftl.geometry.total_pages
+    assert valid == int(kernel.block_valid.sum())

@@ -1,0 +1,206 @@
+"""Trim ranges crossing block boundaries while GC is mid-victim-scan.
+
+The kernel refactor snapshots a victim's page states straight off the
+struct-of-arrays state column at the start of the reclaim scan.  These
+tests pin the interleaving the snapshot must survive: a trim that spans
+an erase-block boundary lands between victim *selection* and the
+reclaim scan (or between passes of one collection), flipping pages of
+the victim and of its neighbour from VALID to INVALID with fresh stale
+records attached.
+"""
+
+import pytest
+
+from repro.sim import SimClock
+from repro.ssd.device import SSD
+from repro.ssd.flash import FlashArray, PageContent
+from repro.ssd.ftl import FTL, InvalidationCause, PassthroughRetention
+from repro.ssd.gc import GreedyGC
+from repro.ssd.geometry import SSDGeometry
+from repro.ssd.kernel import PAGE_INVALID, PAGE_VALID
+
+
+def content(tag):
+    return PageContent.synthetic(fingerprint=tag, length=4096)
+
+
+def build_ftl(retention=None, gc_threshold=4):
+    geometry = SSDGeometry.tiny()
+    flash = FlashArray(geometry)
+    return FTL(
+        geometry,
+        flash,
+        SimClock(),
+        retention_policy=retention,
+        gc_threshold_blocks=gc_threshold,
+    )
+
+
+class PreservingRetention(PassthroughRetention):
+    """Pins every stale page, RSSD-style, so GC must relocate them."""
+
+    def may_release(self, record):
+        return False
+
+    def reclaim_pressure(self, ftl, needed_pages):
+        return 0
+
+
+def assert_kernel_consistent(ftl):
+    """Block counters and the mapping column agree with the state column."""
+    kernel = ftl.kernel
+    ppb = ftl.geometry.pages_per_block
+    for block in range(ftl.geometry.total_blocks):
+        window = kernel.page_state[block * ppb : (block + 1) * ppb]
+        assert int(kernel.block_valid[block]) == int((window == PAGE_VALID).sum())
+        assert int(kernel.block_invalid[block]) == int((window == PAGE_INVALID).sum())
+    mapped_lpns = (kernel.map_ppn >= 0).nonzero()[0].tolist()
+    assert len(mapped_lpns) == kernel.mapped_count
+    for lpn in mapped_lpns:
+        ppn = int(kernel.map_ppn[lpn])
+        assert int(kernel.page_state[ppn]) == PAGE_VALID
+        assert int(kernel.page_lpn[ppn]) == lpn
+    for ppn, record in ftl._stale.items():
+        assert int(kernel.page_state[ppn]) == PAGE_INVALID
+        assert record.ppn == ppn
+
+
+def fill_sequential(ftl, npages, start_tag=1):
+    """Write ``npages`` LPNs once each; sequential fill packs them by block."""
+    for lpn in range(npages):
+        ftl.write(lpn, content(start_tag + lpn))
+
+
+class TestTrimDuringVictimScan:
+    def test_trim_crossing_blocks_between_selection_and_reclaim(self):
+        ftl = build_ftl()
+        ppb = ftl.geometry.pages_per_block
+        fill_sequential(ftl, 3 * ppb)
+        # Overwrites make the first host block the clear victim.
+        for lpn in range(6):
+            ftl.write(lpn, content(1000 + lpn))
+
+        gc = GreedyGC()
+        victim = gc.select_victim(ftl)
+        assert victim is not None
+        victim_lpns = {
+            lpn
+            for lpn in range(3 * ppb)
+            if ftl.geometry.ppn_to_block(ftl.lookup(lpn).ppn) == victim.block_index
+        }
+        assert victim_lpns, "victim should hold live pages from the sequential fill"
+
+        # The trim lands after selection but before the reclaim scan and
+        # crosses from the victim into the next block's LPN range.
+        boundary = max(lpn for lpn in victim_lpns if lpn + 1 not in victim_lpns)
+        trim_start, trim_pages = boundary - 3, 8
+        trimmed = set(range(trim_start, trim_start + trim_pages))
+        assert trimmed & victim_lpns and trimmed - victim_lpns, (
+            "trim range must straddle the victim's block boundary"
+        )
+        survivors = {
+            lpn: ftl.read(lpn).fingerprint
+            for lpn in range(3 * ppb)
+            if lpn not in trimmed
+        }
+        ftl.trim_run(trim_start, trim_pages)
+
+        result = gc._reclaim_block(ftl, victim)
+
+        assert result.blocks_erased == 1
+        # Overwritten and trimmed-inside-victim pages are all releasable
+        # under passthrough retention; trimmed pages of the neighbour
+        # block must be left alone.
+        assert result.stale_pages_released >= 6 + len(trimmed & victim_lpns)
+        assert victim.valid_count == 0 and victim.is_erased
+        for lpn in trimmed:
+            assert ftl.lookup(lpn) is None
+        for lpn, fingerprint in survivors.items():
+            assert ftl.read(lpn).fingerprint == fingerprint
+        outside = trimmed - victim_lpns
+        recorded = {
+            record.lpn
+            for record in ftl._stale.values()
+            if record.cause is InvalidationCause.TRIM
+        }
+        assert outside <= recorded
+        assert_kernel_consistent(ftl)
+
+    def test_preserving_policy_relocates_trimmed_pages_from_victim(self):
+        ftl = build_ftl(retention=PreservingRetention())
+        ppb = ftl.geometry.pages_per_block
+        fill_sequential(ftl, 2 * ppb)
+
+        gc = GreedyGC()
+        # Trim the tail of the first block plus the head of the second,
+        # then force a scan of the first block.
+        ftl.trim_run(ppb - 4, 8)
+        victim = ftl.flash.block(ftl.geometry.ppn_to_block(0))
+        assert victim.invalid_count > 0
+        result = gc._reclaim_block(ftl, victim)
+
+        # Nothing may be destroyed: every trimmed page in the victim is
+        # relocated with its record intact.
+        assert result.stale_pages_released == 0
+        assert result.stale_pages_preserved >= 4
+        trimmed_records = [
+            record
+            for record in ftl._stale.values()
+            if record.cause is InvalidationCause.TRIM
+        ]
+        assert len(trimmed_records) == 8
+        for record in trimmed_records:
+            assert ftl.geometry.ppn_to_block(record.ppn) != victim.block_index
+            assert ftl.stale_record_at(record.ppn) is record
+        assert_kernel_consistent(ftl)
+
+
+class TestDeviceTrimRangeWithEagerGC:
+    def test_trim_range_spanning_blocks_triggers_gc_and_stays_consistent(self):
+        device = SSD(geometry=SSDGeometry.tiny(), eager_trim_gc=True)
+        ppb = device.geometry.pages_per_block
+        capacity = device.capacity_pages
+        # Drive the free pool down toward the GC threshold so the
+        # trim-triggered collection has real work queued up.
+        tag = 0
+        for round_index in range(3):
+            for lba in range(0, capacity - ppb, ppb):
+                tag += 1
+                device.write_batch(
+                    lba, [content(tag * 10_000 + i) for i in range(ppb)]
+                )
+        gc_before = device.metrics.gc_invocations
+
+        # One trim crossing three block-sized strides of the LBA space.
+        trim_lba, trim_pages = ppb // 2, 3 * ppb
+        device.trim_range(trim_lba, trim_pages)
+
+        assert device.metrics.gc_invocations > gc_before
+        assert device.metrics.host_pages_trimmed >= trim_pages
+        for lba in range(trim_lba, trim_lba + trim_pages):
+            assert device.ftl.lookup(lba) is None
+        # A survivor on each side of the trimmed range still reads back.
+        for lba in (0, trim_lba + trim_pages + 1):
+            assert device.ftl.lookup(lba) is not None
+        assert_kernel_consistent(device.ftl)
+
+    def test_interleaved_trim_write_gc_rounds_keep_accounting_exact(self):
+        device = SSD(geometry=SSDGeometry.tiny(), eager_trim_gc=True)
+        ppb = device.geometry.pages_per_block
+        capacity = device.capacity_pages
+        tag = 0
+        for round_index in range(6):
+            for lba in range(0, capacity - ppb, ppb // 2):
+                tag += 1
+                device.write_batch(
+                    lba, [content(tag * 10_000 + i) for i in range(ppb // 2)]
+                )
+            # Trim a block-boundary-crossing window that moves each round.
+            window = (round_index * (ppb + 3)) % (capacity - 2 * ppb)
+            device.trim_range(window, ppb + 5)
+            assert_kernel_consistent(device.ftl)
+        assert device.metrics.gc_invocations > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
