@@ -5,7 +5,7 @@ servers over the full operation history, rather than relying on the
 short-horizon detectors that fit inside SSD firmware.
 """
 
-from repro.analysis.experiments import run_detection_ablation
+from repro.ablation import run_detection_ablation
 from repro.analysis.reporting import format_table
 
 

@@ -5,7 +5,7 @@ before shipping them over NVMe-oE, which is what keeps a 1 GbE link far
 ahead of the stale-data production rate of real volumes.
 """
 
-from repro.analysis.experiments import run_offload_ablation
+from repro.ablation import run_offload_ablation
 from repro.analysis.reporting import format_table
 from repro.analysis.retention import RetentionScenario, lookup_volume, stale_gb_per_day
 from repro.bench import scaled

@@ -5,7 +5,7 @@ TRIM-dependent software) or keeping commodity semantics (which the
 trimming attack exploits), RSSD remaps and retains trimmed data.
 """
 
-from repro.analysis.experiments import run_trim_ablation
+from repro.ablation import run_trim_ablation
 from repro.analysis.reporting import format_table
 from repro.bench import scaled
 

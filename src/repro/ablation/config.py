@@ -1,0 +1,85 @@
+"""Immutable enable/disable set for one ablation cell.
+
+An :class:`AblationConfig` names the features *disabled* in a scenario.
+It canonicalizes to a sorted unique tuple so two configs describing the
+same set compare (and hash, and serialize) identically, and renders a
+compact ``label`` safe for cell keys and CSV cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+from repro.ablation.registry import validate_features
+
+
+@dataclass(frozen=True)
+class AblationConfig:
+    """The set of defense features disabled for one scenario.
+
+    The empty config (nothing disabled) is the full paper design.
+    """
+
+    #: Feature names disabled in this configuration (canonical: sorted,
+    #: unique, registry-validated).
+    disabled: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        """Validate against the feature registry and canonicalize."""
+        object.__setattr__(self, "disabled", validate_features(self.disabled))
+
+    @classmethod
+    def full(cls) -> "AblationConfig":
+        """The full design: every feature enabled."""
+        return cls()
+
+    @classmethod
+    def without(cls, *features: str) -> "AblationConfig":
+        """Config with the named features disabled."""
+        return cls(disabled=tuple(features))
+
+    def is_enabled(self, feature: str) -> bool:
+        """Whether ``feature`` is enabled (i.e. not in the disabled set)."""
+        validate_features([feature])
+        return feature not in self.disabled
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable identifier.
+
+        ``"full"`` for the empty config, otherwise ``no-<f>`` terms
+        joined with ``+`` (e.g. ``no-enhanced-trim+no-local-detector``).
+        Never contains ``,`` (CSV-safe) or ``/`` (cell-key-safe).
+        """
+        if not self.disabled:
+            return "full"
+        return "+".join("no-" + name for name in self.disabled)
+
+    @staticmethod
+    def sweep(features: Iterable[str], mode: str = "drop-one") -> Tuple["AblationConfig", ...]:
+        """Enumerate the configs of a sweep over ``features``.
+
+        ``drop-one`` yields the full config plus one config per feature
+        with just that feature disabled (``1 + n`` cells); ``power-set``
+        yields every subset of the features (``2**n`` cells).  Order is
+        deterministic: by number of disabled features, then
+        lexicographically.
+        """
+        names = validate_features(features)
+        if mode == "drop-one":
+            configs = [AblationConfig()]
+            configs.extend(AblationConfig(disabled=(name,)) for name in names)
+        elif mode == "power-set":
+            configs = []
+            for mask in range(2 ** len(names)):
+                subset = tuple(
+                    name for bit, name in enumerate(names) if mask >> bit & 1
+                )
+                configs.append(AblationConfig(disabled=subset))
+        else:
+            raise ValueError(
+                "unknown sweep mode %r (expected 'drop-one' or 'power-set')" % (mode,)
+            )
+        configs.sort(key=lambda config: (len(config.disabled), config.disabled))
+        return tuple(configs)

@@ -1,0 +1,175 @@
+"""Registry of toggleable defense components.
+
+Each :class:`Feature` names one component of the paper's design and
+knows how to *disable* it on a live :class:`~repro.defenses.rssd_adapter.RSSDDefense`
+instance -- the session applies the disables right after the defense is
+built, before any I/O runs, so an ablated cell differs from the full
+configuration only in the named component.
+
+Feature names are part of the :class:`~repro.api.spec.ScenarioSpec`
+schema (its ``ablation`` field lists *disabled* features), so they are
+validated here in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.defenses.base import Defense
+    from repro.defenses.rssd_adapter import RSSDDefense
+
+
+class AblationError(ValueError):
+    """Raised for unknown feature names or defenses without the toggle point."""
+
+
+@dataclass(frozen=True)
+class Feature:
+    """One toggleable defense component.
+
+    ``disable`` mutates a freshly built :class:`RSSDDefense` so the
+    component is off for the whole session; it must be applied before
+    any host I/O reaches the device.
+    """
+
+    #: Stable identifier used in ``ScenarioSpec.ablation`` and CLI flags.
+    name: str
+    #: One-line description of what disabling the feature removes.
+    summary: str
+    #: The paper design point the feature ablates (used by the docs).
+    paper_component: str
+    #: Applies the disable to a live RSSD defense.
+    disable: Callable[["RSSDDefense"], None]
+
+
+def _disable_selective_retention(defense: "RSSDDefense") -> None:
+    defense.rssd.retention.retain_overwrites = False
+
+
+def _disable_remote_offload(defense: "RSSDDefense") -> None:
+    defense.rssd.offload.enabled = False
+
+
+def _disable_enhanced_trim(defense: "RSSDDefense") -> None:
+    from repro.core.trim_handler import TrimMode
+
+    defense.rssd.trim_handler.set_mode(TrimMode.NAIVE)
+    defense.rssd.retention.retain_trimmed = False
+
+
+def _disable_local_detector(defense: "RSSDDefense") -> None:
+    defense.local_detection_enabled = False
+
+
+def _disable_remote_detector(defense: "RSSDDefense") -> None:
+    defense.remote_detection_enabled = False
+
+
+def _disable_gc_policy(defense: "RSSDDefense") -> None:
+    from repro.ssd.gc import CostBenefitGC
+
+    old = defense.rssd.ssd.gc
+    defense.rssd.ssd.gc = CostBenefitGC(
+        max_blocks_per_pass=old.max_blocks_per_pass,
+        victim_scan_width=old.victim_scan_width,
+    )
+
+
+def _disable_retention_eviction(defense: "RSSDDefense") -> None:
+    defense.rssd.retention.evict_under_pressure = True
+
+
+#: Every toggleable component, keyed by feature name.
+FEATURES: Dict[str, Feature] = {
+    feature.name: feature
+    for feature in (
+        Feature(
+            name="selective-retention",
+            summary="retain overwrite-invalidated page versions",
+            paper_component="conservative retention of overwritten data",
+            disable=_disable_selective_retention,
+        ),
+        Feature(
+            name="remote-offload",
+            summary="ship retained data and log segments over NVMe-oE",
+            paper_component="hardware-isolated NVMe-oE offload path",
+            disable=_disable_remote_offload,
+        ),
+        Feature(
+            name="enhanced-trim",
+            summary="defer trims and retain trimmed page versions",
+            paper_component="enhanced trim command handling",
+            disable=_disable_enhanced_trim,
+        ),
+        Feature(
+            name="local-detector",
+            summary="in-device sliding-window detector",
+            paper_component="local (SSDInsider-style) detection",
+            disable=_disable_local_detector,
+        ),
+        Feature(
+            name="remote-detector",
+            summary="remote full-oplog detector",
+            paper_component="remote detection over the offloaded log",
+            disable=_disable_remote_detector,
+        ),
+        Feature(
+            name="gc-policy",
+            summary="retention-aware greedy GC victim scoring",
+            paper_component="GC policy co-designed with retention",
+            disable=_disable_gc_policy,
+        ),
+        Feature(
+            name="retention-eviction",
+            summary="throttle-and-drain instead of evicting under GC pressure",
+            paper_component="retention backpressure on the GC attack",
+            disable=_disable_retention_eviction,
+        ),
+    )
+}
+
+
+def feature_names() -> List[str]:
+    """All registered feature names, sorted."""
+    return sorted(FEATURES)
+
+
+def validate_features(names: Iterable[str]) -> Tuple[str, ...]:
+    """Check every name against the registry; return them sorted and unique.
+
+    Raises :class:`AblationError` naming the unknown features (and the
+    valid vocabulary) on any miss.
+    """
+    requested = list(names)
+    unknown = sorted(set(requested) - set(FEATURES))
+    if unknown:
+        raise AblationError(
+            "unknown ablation features: "
+            + ", ".join(unknown)
+            + " (known: "
+            + ", ".join(feature_names())
+            + ")"
+        )
+    return tuple(sorted(set(requested)))
+
+
+def apply_ablation(defense: "Defense", disabled: Iterable[str]) -> None:
+    """Disable each named feature on a freshly built defense.
+
+    Must run before any host I/O.  Raises :class:`AblationError` if a
+    feature name is unknown or the defense lacks the toggle points
+    (every current feature toggles RSSD internals, so only
+    :class:`~repro.defenses.rssd_adapter.RSSDDefense` qualifies).
+    """
+    names = validate_features(disabled)
+    if not names:
+        return
+    if not hasattr(defense, "rssd"):
+        raise AblationError(
+            "defense %r does not expose RSSD component toggles; "
+            "ablation requires the RSSD defense" % (defense.name,)
+        )
+    for name in names:
+        FEATURES[name].disable(defense)  # type: ignore[arg-type]

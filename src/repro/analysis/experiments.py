@@ -25,7 +25,6 @@ from repro.attacks.timing_attack import TimingAttack
 from repro.attacks.trimming_attack import TrimmingAttack
 from repro.core.config import RSSDConfig
 from repro.core.rssd import RSSD
-from repro.core.trim_handler import TrimMode
 from repro.defenses.matrix import CapabilityMatrix, MatrixRow, default_defense_factories
 from repro.sim import SimClock, US_PER_SECOND
 from repro.ssd.device import SSD
@@ -388,17 +387,11 @@ def run_forensics_experiment(
 # A1: offload path ablation (compression + bandwidth demand)
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
-class OffloadRow:
-    """Offload-path behaviour for one replayed volume."""
-
-    volume: str
-    pages_offloaded: int
-    raw_mb: float
-    compressed_mb: float
-    compression_ratio: float
-    wire_mb: float
-    link_backlog_us: float
+from repro.ablation.experiments import (  # noqa: E402 - re-exported row types
+    DetectionRow,
+    OffloadRow,
+    TrimAblationRow,
+)
 
 
 def run_offload_ablation(
@@ -408,136 +401,66 @@ def run_offload_ablation(
     time_compression: float = 30_000.0,
     seed: int = 17,
 ) -> List[OffloadRow]:
-    """Replay volumes on RSSD and report what the offload path shipped."""
-    geometry = geometry if geometry is not None else SSDGeometry.tiny()
-    volumes = volumes if volumes is not None else ["hm", "src", "email", "usr"]
-    rows: List[OffloadRow] = []
-    for volume in volumes:
-        profile = lookup_volume(volume)
-        records = profile_workload(
-            profile,
-            capacity_pages=geometry.exported_pages // 2,
-            duration_s=duration_s,
-            seed=seed,
-            time_compression=time_compression,
-        )
-        rssd = RSSD(config=RSSDConfig(geometry=geometry))
-        TraceReplayer(rssd).replay(records)
-        rssd.drain_offload_queue()
-        stats = rssd.offload.stats
-        rows.append(
-            OffloadRow(
-                volume=volume,
-                pages_offloaded=stats.pages_offloaded,
-                raw_mb=stats.raw_bytes / 1024**2,
-                compressed_mb=stats.compressed_bytes / 1024**2,
-                compression_ratio=stats.compression_ratio,
-                wire_mb=stats.wire_bytes / 1024**2,
-                link_backlog_us=rssd.offload.link_backlog_us,
-            )
-        )
-    return rows
+    """Deprecated alias of :func:`repro.ablation.experiments.run_offload_ablation`.
 
+    Kept as a warn-once shim so pre-ablation-framework callers keep
+    working; the implementation now runs each volume through the
+    :mod:`repro.api` session lifecycle.
+    """
+    from repro._deprecation import warn_once
 
-# ---------------------------------------------------------------------------
-# A2: enhanced-trim ablation
-# ---------------------------------------------------------------------------
+    warn_once(
+        "repro.analysis.experiments.run_offload_ablation",
+        "repro.ablation.experiments.run_offload_ablation",
+    )
+    from repro.ablation.experiments import run_offload_ablation as ported
 
-@dataclass(frozen=True)
-class TrimAblationRow:
-    """Outcome of the trimming attack under each trim-handling mode."""
-
-    mode: str
-    pages_trimmed: int
-    recovered_fraction: float
-    trim_rejected: bool
+    return ported(
+        volumes=volumes,
+        geometry=geometry,
+        duration_s=duration_s,
+        time_compression=time_compression,
+        seed=seed,
+    )
 
 
 def run_trim_ablation(
     geometry: Optional[SSDGeometry] = None,
     victim_files: int = 16,
 ) -> List[TrimAblationRow]:
-    """Compare enhanced trim against retain-nothing and trim-disabled variants."""
-    geometry = geometry if geometry is not None else SSDGeometry.tiny()
-    rows: List[TrimAblationRow] = []
-    for mode, retain_trimmed in (
-        (TrimMode.ENHANCED, True),
-        (TrimMode.NAIVE, False),
-        (TrimMode.DISABLED, True),
-    ):
-        rssd = RSSD(config=RSSDConfig(geometry=geometry))
-        rssd.retention.retain_trimmed = retain_trimmed
-        rssd.trim_handler.set_mode(mode)
-        env = provision_environment(rssd, victim_files=victim_files, file_size_bytes=8192)
-        attack = TrimmingAttack()
-        outcome = attack.execute(env)
+    """Deprecated alias of :func:`repro.ablation.experiments.run_trim_ablation`.
 
-        engine = rssd.recovery_engine()
-        engine.undo_attack(outcome.start_us, outcome.malicious_streams)
+    Kept as a warn-once shim so pre-ablation-framework callers keep
+    working; the implementation now expresses the trim variants through
+    the spec's ``ablation`` field.
+    """
+    from repro._deprecation import warn_once
 
-        recovered = 0
-        total = 0
-        for lba in outcome.victim_lbas:
-            original = outcome.original_fingerprints.get(lba)
-            if original is None:
-                continue
-            total += 1
-            live = rssd.read_content(lba)
-            if live is not None and live.fingerprint == original:
-                recovered += 1
-        rows.append(
-            TrimAblationRow(
-                mode=mode.value,
-                pages_trimmed=outcome.pages_trimmed,
-                recovered_fraction=recovered / total if total else 0.0,
-                trim_rejected=rssd.trim_handler.stats.pages_rejected > 0,
-            )
-        )
-    return rows
+    warn_once(
+        "repro.analysis.experiments.run_trim_ablation",
+        "repro.ablation.experiments.run_trim_ablation",
+    )
+    from repro.ablation.experiments import run_trim_ablation as ported
 
-
-# ---------------------------------------------------------------------------
-# A3: local versus offloaded detection
-# ---------------------------------------------------------------------------
-
-@dataclass(frozen=True)
-class DetectionRow:
-    """Detection outcomes of the local and remote detectors for one attack."""
-
-    attack: str
-    local_detected: bool
-    remote_detected: bool
-    remote_identified_attacker: bool
+    return ported(geometry=geometry, victim_files=victim_files)
 
 
 def run_detection_ablation(
     attack_names: Optional[List[str]] = None,
     geometry: Optional[SSDGeometry] = None,
 ) -> List[DetectionRow]:
-    """Run each attack against RSSD and compare the two detectors."""
-    geometry = geometry if geometry is not None else SSDGeometry.tiny()
-    attack_names = attack_names if attack_names is not None else [
-        "classic",
-        "gc-attack",
-        "timing-attack",
-        "trimming-attack",
-    ]
-    rows: List[DetectionRow] = []
-    for name in attack_names:
-        rssd = RSSD(config=RSSDConfig(geometry=geometry))
-        env = provision_environment(rssd, victim_files=24, file_size_bytes=8192)
-        attack = _attack_by_name(name)
-        outcome = attack.execute(env)
-        rssd.drain_offload_queue()
+    """Deprecated alias of :func:`repro.ablation.experiments.run_detection_ablation`.
 
-        local = rssd.local_detector.report()
-        remote = rssd.detect()
-        rows.append(
-            DetectionRow(
-                attack=name,
-                local_detected=local.detected,
-                remote_detected=remote.detected,
-                remote_identified_attacker=env.attacker_stream in remote.suspected_streams,
-            )
-        )
-    return rows
+    Kept as a warn-once shim so pre-ablation-framework callers keep
+    working; the implementation now runs each attack through the
+    :mod:`repro.api` session lifecycle.
+    """
+    from repro._deprecation import warn_once
+
+    warn_once(
+        "repro.analysis.experiments.run_detection_ablation",
+        "repro.ablation.experiments.run_detection_ablation",
+    )
+    from repro.ablation.experiments import run_detection_ablation as ported
+
+    return ported(attack_names=attack_names, geometry=geometry)

@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence
 from repro.sim import format_duration
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ablation.study import AblationArtifact
     from repro.campaign.results import CampaignArtifact
     from repro.campaign.roc import RocArtifact
     from repro.forensics.report import ForensicReport
@@ -94,6 +95,47 @@ def render_campaign_capability(artifact: "CampaignArtifact") -> str:
             )
         rows.append(row)
     return format_table(["Defense", *attacks], rows)
+
+
+def render_ablation_summary(artifact: "AblationArtifact") -> str:
+    """Per-cell ablation results as an aligned text table.
+
+    One row per (attack, ablation-config) cell; the ``config`` column is
+    the :class:`~repro.ablation.config.AblationConfig` label (``full``
+    or the ``no-<feature>`` terms disabled in that cell).
+    """
+    rows = []
+    for cell in artifact.cells:
+        detection = (
+            format_duration(cell.detection_latency_us)
+            if cell.detection_latency_us is not None
+            else "-"
+        )
+        rows.append(
+            [
+                cell.attack,
+                cell.config,
+                cell.recovery_fraction,
+                cell.detected,
+                detection,
+                cell.write_amplification,
+                cell.data_loss_pages,
+                cell.pages_offloaded_remote,
+            ]
+        )
+    return format_table(
+        [
+            "attack",
+            "config",
+            "recovered",
+            "detected",
+            "detect in",
+            "WA",
+            "data loss",
+            "offloaded",
+        ],
+        rows,
+    )
 
 
 def render_campaign_overhead(artifact: "CampaignArtifact") -> str:

@@ -55,7 +55,7 @@ from repro.api.session import (
     score_forensics,
     score_recovery,
 )
-from repro.api.spec import SPEC_VERSION, ScenarioSpec
+from repro.api.spec import SPEC_VERSION, ScenarioSpec, SpecValidationError
 from repro.campaign.grid import CampaignGrid
 from repro.campaign.results import CampaignArtifact
 from repro.campaign.roc import RocArtifact
@@ -68,6 +68,7 @@ __all__ = [
     # -- scenario description ------------------------------------------------
     "SPEC_VERSION",
     "ScenarioSpec",
+    "SpecValidationError",
     # -- execution -----------------------------------------------------------
     "Session",
     "SessionResult",

@@ -402,6 +402,10 @@ class Session:
             assert self.spec is not None
             defense_factory = registries.DEFENSES[self.spec.defense]
         self.defense = defense_factory(geometry, self.clock)
+        if self.spec is not None and self.spec.ablation:
+            from repro.ablation.registry import apply_ablation
+
+            apply_ablation(self.defense, self.spec.ablation)
         self._wire_bus(self.defense)
         self.env = provision_environment(
             self.defense.device,

@@ -25,15 +25,42 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass, replace
-from typing import Dict, List, Optional
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
 
 from repro.campaign import registries
 from repro.campaign.grid import CellSpec
 from repro.campaign.seeding import derive_seed
 
 #: Bump when the spec schema changes; readers refuse newer versions.
-SPEC_VERSION = 1
+#: Version 2 added the optional ``ablation`` field; specs that leave it
+#: empty still serialize as version 1, so their hashes (and every
+#: pre-ablation artifact) are unchanged.
+SPEC_VERSION = 2
+
+
+class SpecValidationError(ValueError):
+    """A spec payload failed schema validation.
+
+    Carries the offending schema ``version`` (for version errors) or
+    ``field`` name (for field errors) so callers can report precisely
+    what to fix instead of guessing from a bare ``KeyError``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        field: Optional[str] = None,
+        version: Optional[object] = None,
+    ) -> None:
+        super().__init__(message)
+        #: The first offending top-level field name, if the error is
+        #: about a field; ``None`` for version errors.
+        self.field = field
+        #: The offending schema version, if the error is about the
+        #: version; ``None`` for field errors.
+        self.version = version
 
 
 @dataclass(frozen=True)
@@ -61,11 +88,22 @@ class ScenarioSpec:
     env_seed: Optional[int] = None
     workload_seed: Optional[int] = None
     attack_seed: Optional[int] = None
+    #: Defense features *disabled* for this scenario (ablation).  Names
+    #: come from :data:`repro.ablation.registry.FEATURES`; the empty
+    #: tuple (default) is the full design and keeps the spec on schema
+    #: version 1 so pre-ablation hashes are unchanged.  Deliberately
+    #: excluded from :attr:`scenario_key`, so every ablation variant of
+    #: a scenario shares the same derived rng streams and deltas are
+    #: attributable purely to the toggled component.
+    ablation: Tuple[str, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         registries.validate_names(
             [self.defense], [self.attack], [self.workload], [self.device]
         )
+        from repro.ablation.registry import validate_features
+
+        object.__setattr__(self, "ablation", validate_features(self.ablation))
         if self.victim_files < 1:
             raise ValueError("victim_files must be at least 1")
         if self.file_size_bytes < 1:
@@ -149,7 +187,16 @@ class ScenarioSpec:
         )
 
     def to_cell(self) -> CellSpec:
-        """The campaign-engine view of this spec (seeds resolved)."""
+        """The campaign-engine view of this spec (seeds resolved).
+
+        Campaign cells are always the full design, so a spec with a
+        non-empty ``ablation`` set has no cell form and raises.
+        """
+        if self.ablation:
+            raise ValueError(
+                "campaign cells cannot carry an ablation; run this spec "
+                "through repro.api.Session or an AblationStudy instead"
+            )
         return CellSpec(
             defense=self.defense,
             attack=self.attack,
@@ -167,24 +214,58 @@ class ScenarioSpec:
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-ready view of the spec, seeds resolved, schema-versioned."""
+        """JSON-ready view of the spec, seeds resolved, schema-versioned.
+
+        A spec with no ablation serializes exactly as it did before the
+        ``ablation`` field existed -- version 1, no ``ablation`` key --
+        so its :meth:`spec_hash` is unchanged.  Ablated specs carry the
+        field and declare version 2.
+        """
         payload = asdict(self.resolve_seeds())
-        payload["version"] = SPEC_VERSION
+        if self.ablation:
+            payload["ablation"] = list(self.ablation)
+            payload["version"] = SPEC_VERSION
+        else:
+            del payload["ablation"]
+            payload["version"] = 1
         return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
-        """Rebuild a spec, refusing schema versions newer than this reader."""
+        """Rebuild a spec, refusing schema versions newer than this reader.
+
+        Malformed payloads raise :class:`SpecValidationError` naming the
+        offending schema version or field, never a bare ``KeyError`` or
+        ``TypeError``.
+        """
         payload = dict(data)
-        version = int(payload.pop("version", SPEC_VERSION))  # type: ignore[arg-type]
-        if version > SPEC_VERSION:
-            raise ValueError(
-                f"scenario spec version {version} is newer than supported "
-                f"version {SPEC_VERSION}"
+        raw_version = payload.pop("version", 1)
+        if not isinstance(raw_version, int) or isinstance(raw_version, bool):
+            raise SpecValidationError(
+                f"scenario spec version must be an integer, got {raw_version!r}",
+                version=raw_version,
             )
-        unknown = set(payload) - {f for f in cls.__dataclass_fields__}
+        if raw_version > SPEC_VERSION:
+            raise SpecValidationError(
+                f"scenario spec version {raw_version} is newer than supported "
+                f"version {SPEC_VERSION}",
+                version=raw_version,
+            )
+        unknown = sorted(set(payload) - {f for f in cls.__dataclass_fields__})
         if unknown:
-            raise ValueError(f"unknown scenario spec fields: {sorted(unknown)}")
+            raise SpecValidationError(
+                f"unknown scenario spec fields: {unknown}", field=unknown[0]
+            )
+        ablation = payload.get("ablation", ())
+        if not isinstance(ablation, (list, tuple)) or not all(
+            isinstance(name, str) for name in ablation
+        ):
+            raise SpecValidationError(
+                f"scenario spec field 'ablation' must be a list of feature "
+                f"names, got {ablation!r}",
+                field="ablation",
+            )
+        payload["ablation"] = tuple(ablation)
         return cls(**payload)  # type: ignore[arg-type]
 
     def to_json(self) -> str:
@@ -223,7 +304,7 @@ class ScenarioSpec:
         """Human-readable field-level differences against ``other``."""
         mine, theirs = self.to_dict(), other.to_dict()
         return [
-            f"{name}: {theirs[name]!r} -> {mine[name]!r}"
-            for name in sorted(mine)
-            if mine[name] != theirs[name]
+            f"{name}: {theirs.get(name)!r} -> {mine.get(name)!r}"
+            for name in sorted(set(mine) | set(theirs))
+            if mine.get(name) != theirs.get(name)
         ]

@@ -32,6 +32,7 @@ from repro.attacks.adaptive import (
 from repro.attacks.base import (
     AttackEnvironment,
     AttackOutcome,
+    NoOpAttack,
     RansomwareAttack,
     build_environment,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "EvasionPolicy",
     "GCAttack",
     "IntermittentEncryptionAttack",
+    "NoOpAttack",
     "RansomwareAttack",
     "RateThrottledAttack",
     "TimingAttack",

@@ -187,6 +187,30 @@ class RansomwareAttack(ABC):
         """Run the attack against ``env`` and return the ground-truth outcome."""
 
 
+class NoOpAttack(RansomwareAttack):
+    """A benign "attack" that does nothing.
+
+    Lets the campaign and ablation machinery run attack-free scenarios
+    (pure workload measurement -- I/O overhead, offload throughput,
+    false-positive detection rates) through the exact same
+    spec-and-session path as every real attack.
+    """
+
+    name = "none"
+    aggressive = False
+
+    def execute(self, env: AttackEnvironment) -> AttackOutcome:
+        """Touch nothing; return an empty outcome anchored at the current time."""
+        self.bind_environment_rng(env)
+        now = env.clock.now_us
+        return AttackOutcome(
+            attack_name=self.name,
+            start_us=now,
+            end_us=now,
+            malicious_streams=[env.attacker_stream],
+        )
+
+
 class _StreamSwitcher:
     """Temporarily switches a block device wrapper to the attacker's stream id."""
 

@@ -21,7 +21,7 @@ from repro.attacks.adaptive import (
     RateThrottledAttack,
     TrimInterleavedWipeAttack,
 )
-from repro.attacks.base import AttackEnvironment, RansomwareAttack
+from repro.attacks.base import AttackEnvironment, NoOpAttack, RansomwareAttack
 from repro.attacks.classic import ClassicRansomware, DestructionMode
 from repro.attacks.gc_attack import GCAttack
 from repro.attacks.timing_attack import TimingAttack
@@ -69,6 +69,9 @@ DEFENSES: Dict[str, DefenseFactory] = {
 # ---------------------------------------------------------------------------
 
 ATTACKS: Dict[str, AttackBuilder] = {
+    # -- the benign column: no attack at all (pure workload measurement;
+    # -- the offload-throughput and false-positive experiments use it).
+    "none": lambda seed: NoOpAttack(seed=seed),
     "classic": lambda seed: ClassicRansomware(
         destruction=DestructionMode.OVERWRITE, seed=seed
     ),
@@ -175,10 +178,60 @@ def idle_activity(
 #: Workload generators share one signature: (env, rng, hours, recent_fraction).
 ActivityFn = Callable[[AttackEnvironment, random.Random, float, float], None]
 
+
+def trace_replay_activity(volume: str) -> ActivityFn:
+    """Build a workload replaying a profiled MSR/FIU storage trace.
+
+    The returned activity synthesizes a trace matching the named
+    volume's profile (:func:`repro.analysis.retention.lookup_volume`)
+    over half the device's exported capacity and replays it in
+    timestamp order under 30,000x time compression -- the retention
+    experiments' standard setting.  ``hours`` is interpreted as seconds
+    of original (uncompressed) trace time, so the legacy experiments'
+    ``duration_s=0.1`` maps to ``user_activity_hours=0.1``; a
+    non-positive duration replays nothing.  The trace seed is drawn
+    from the workload rng, so campaign cells reproduce bit-identically.
+    """
+
+    def activity(
+        env: AttackEnvironment,
+        rng: random.Random,
+        hours: float,
+        recent_edit_fraction: float,
+    ) -> None:
+        if hours <= 0:
+            return
+        from repro.analysis.retention import lookup_volume
+        from repro.workloads.replay import TraceReplayer
+        from repro.workloads.synthetic import profile_workload
+
+        profile = lookup_volume(volume)
+        records = profile_workload(
+            profile,
+            capacity_pages=env.device.capacity_pages // 2,  # type: ignore[attr-defined]
+            duration_s=hours,
+            seed=rng.randrange(1 << 31),
+            stream_id=env.user_stream,
+            time_compression=30_000.0,
+        )
+        TraceReplayer(env.device).replay(records)  # type: ignore[arg-type]
+
+    return activity
+
+
+#: Every trace volume the retention analysis knows (MSR plus FIU).
+TRACE_VOLUMES: List[str] = [
+    "hm", "prn", "proj", "rsrch", "src", "stg", "ts", "usr", "wdev", "web",
+    "email", "fiu-res", "online", "webresearch", "webusers",
+]
+
 WORKLOADS: Dict[str, ActivityFn] = {
     "office-edit": office_edit_activity,
     "idle": idle_activity,
 }
+WORKLOADS.update(
+    {f"trace-{volume}": trace_replay_activity(volume) for volume in TRACE_VOLUMES}
+)
 
 # ---------------------------------------------------------------------------
 # Device configurations

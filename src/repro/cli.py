@@ -11,6 +11,7 @@ Examples::
     python -m repro recovery
     python -m repro forensics
     python -m repro roc --grid tiny
+    python -m repro ablate --features enhanced-trim remote-offload
     python -m repro ablation-offload
     python -m repro ablation-trim
     python -m repro ablation-detection
@@ -92,7 +93,9 @@ def _cmd_forensics(args: argparse.Namespace) -> str:
 
 
 def _cmd_ablation_offload(args: argparse.Namespace) -> str:
-    rows = ex.run_offload_ablation(volumes=args.volumes)
+    from repro.ablation import run_offload_ablation
+
+    rows = run_offload_ablation(volumes=args.volumes)
     return format_table(
         ["volume", "pages offloaded", "compression ratio", "wire MB"],
         [[r.volume, r.pages_offloaded, r.compression_ratio, r.wire_mb] for r in rows],
@@ -100,7 +103,9 @@ def _cmd_ablation_offload(args: argparse.Namespace) -> str:
 
 
 def _cmd_ablation_trim(args: argparse.Namespace) -> str:
-    rows = ex.run_trim_ablation()
+    from repro.ablation import run_trim_ablation
+
+    rows = run_trim_ablation()
     return format_table(
         ["mode", "pages trimmed", "recovered fraction", "trim rejected"],
         [[r.mode, r.pages_trimmed, r.recovered_fraction, r.trim_rejected] for r in rows],
@@ -108,7 +113,9 @@ def _cmd_ablation_trim(args: argparse.Namespace) -> str:
 
 
 def _cmd_ablation_detection(args: argparse.Namespace) -> str:
-    rows = ex.run_detection_ablation()
+    from repro.ablation import run_detection_ablation
+
+    rows = run_detection_ablation()
     return format_table(
         ["attack", "local detected", "remote detected", "attacker identified"],
         [[r.attack, r.local_detected, r.remote_detected, r.remote_identified_attacker] for r in rows],
@@ -132,6 +139,33 @@ def _resolve_backend(args: argparse.Namespace) -> str:
     if args.backend == "auto":
         return "process" if args.jobs != 1 else "sequential"
     return args.backend
+
+
+def _expand_cells(grid, filters):
+    """Expand a grid's cells, refusing to run a silently empty filter.
+
+    When ``--filter`` patterns leave no cells, exits 1 listing which
+    patterns matched nothing (and the grid's cell keys) instead of
+    letting the run write an empty artifact that looks like success.
+    """
+    from repro.campaign.grid import filter_specs
+
+    specs = grid.cells(filters)
+    if filters and not specs:
+        everything = grid.cells()
+        unmatched = [
+            pattern
+            for pattern in filters
+            if not filter_specs(everything, [pattern])
+        ]
+        lines = [
+            "error: --filter matched no cells; nothing to run",
+            "unmatched patterns: " + ", ".join(unmatched),
+            "grid cells:",
+        ]
+        lines += [f"  {spec.cell_key}" for spec in everything]
+        raise SystemExit("\n".join(lines))
+    return specs
 
 
 def _save_and_check_baseline(sections, artifact, args) -> str:
@@ -177,9 +211,8 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
         ),
     )
     backend = _resolve_backend(args)
-    artifact = run_campaign(
-        grid, backend=backend, jobs=args.jobs, filters=args.filter
-    )
+    specs = _expand_cells(grid, args.filter)
+    artifact = run_campaign(grid, backend=backend, jobs=args.jobs, specs=specs)
 
     sections = [
         f"Campaign: {len(artifact.cells)} cells, seed {grid.seed}, "
@@ -213,7 +246,8 @@ def _cmd_roc(args: argparse.Namespace) -> str:
         ),
     )
     backend = _resolve_backend(args)
-    artifact = run_roc(grid, backend=backend, jobs=args.jobs, filters=args.filter)
+    specs = _expand_cells(grid, args.filter)
+    artifact = run_roc(grid, backend=backend, jobs=args.jobs, specs=specs)
 
     sections = [
         f"Detection quality: {len(artifact.curves)} ROC curves over "
@@ -223,6 +257,68 @@ def _cmd_roc(args: argparse.Namespace) -> str:
     ]
     if not args.quality_only:
         sections.append(render_detection_roc(artifact))
+    return _save_and_check_baseline(sections, artifact, args)
+
+
+def _cmd_ablate(args: argparse.Namespace) -> str:
+    import dataclasses
+
+    from repro.ablation import (
+        AblationError,
+        AblationStudy,
+        calculate_metrics,
+        render_impact_csv,
+        render_impact_markdown,
+        render_impact_table,
+    )
+    from repro.analysis.reporting import render_ablation_summary
+
+    study = AblationStudy.tiny()
+    base = study.base_spec
+    overrides = {
+        name: value
+        for name, value in (
+            ("defense", args.defense),
+            ("workload", args.workload),
+            ("device", args.device),
+            ("victim_files", args.victim_files),
+            ("user_activity_hours", args.hours),
+            ("seed", args.seed),
+        )
+        if value is not None
+    }
+    try:
+        if overrides:
+            base = dataclasses.replace(base, **overrides)
+        study = AblationStudy(
+            base_spec=base,
+            features=tuple(args.features) if args.features else study.features,
+            mode=args.mode,
+            attacks=tuple(args.attacks) if args.attacks else study.attacks,
+        )
+    except (AblationError, KeyError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    backend = _resolve_backend(args)
+    artifact = study.run(backend=backend, jobs=args.jobs)
+    impacts = calculate_metrics(artifact)
+
+    sections = [
+        f"Ablation: {len(artifact.cells)} cells "
+        f"({len(study.configs)} configs x {len(study.attacks)} attacks, "
+        f"mode {study.mode}), seed {base.seed}, "
+        f"backend {backend}, jobs {args.jobs or 'auto'}",
+        render_ablation_summary(artifact),
+    ]
+    if impacts:
+        sections.append(render_impact_table(impacts))
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(render_impact_csv(impacts) + "\n")
+        sections.append(f"impact CSV written to {args.csv}")
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(render_impact_markdown(impacts) + "\n")
+        sections.append(f"impact markdown written to {args.markdown}")
     return _save_and_check_baseline(sections, artifact, args)
 
 
@@ -608,6 +704,44 @@ def build_parser() -> argparse.ArgumentParser:
         "ablation-detection", help="A3: local vs offloaded detection"
     )
     ablation_detection.set_defaults(func=_cmd_ablation_detection)
+
+    ablate = subparsers.add_parser(
+        "ablate",
+        parents=[parents["seed"], parents["parallel"], parents["output"]],
+        help="Component-level ablation sweep over one scenario",
+    )
+    ablate.add_argument(
+        "--features", nargs="*", default=None,
+        help="defense features to sweep (default: the tiny study's three)",
+    )
+    ablate.add_argument(
+        "--mode", choices=["drop-one", "power-set"], default="drop-one",
+        help="sweep shape: full + one config per feature, or every subset",
+    )
+    ablate.add_argument(
+        "--attacks", nargs="*", default=None,
+        help="attack axis (default: classic and trimming-attack)",
+    )
+    ablate.add_argument("--defense", default=None, help="defense under ablation")
+    ablate.add_argument("--workload", default=None, help="pre-attack workload name")
+    ablate.add_argument("--device", default=None, help="device geometry name")
+    ablate.add_argument("--victim-files", type=int, default=None)
+    ablate.add_argument(
+        "--hours", type=float, default=None, help="pre-attack activity hours"
+    )
+    ablate.add_argument(
+        "--baseline", default=None, metavar="ARTIFACT",
+        help="diff against a stored ablation artifact; exit 1 on any difference",
+    )
+    ablate.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="write the per-feature impact table as CSV here",
+    )
+    ablate.add_argument(
+        "--markdown", default=None, metavar="PATH",
+        help="write the per-feature impact table as markdown here",
+    )
+    ablate.set_defaults(func=_cmd_ablate)
 
     campaign = subparsers.add_parser(
         "campaign",

@@ -77,6 +77,10 @@ class OffloadEngine:
         )
         self.protocol = NVMeOEProtocol()
         self.stats = OffloadStats()
+        #: The ``remote-offload`` ablation clears this; a disabled engine
+        #: ships nothing (drains return 0) so retained data piles up
+        #: locally and GC pressure must be resolved some other way.
+        self.enabled = True
         # The engine is part of the firmware, so it holds the single
         # firmware capability for the embedded NIC.
         self._token: FirmwareToken = nic.issue_firmware_token()
@@ -96,6 +100,8 @@ class OffloadEngine:
 
     def drain(self, max_pages: Optional[int] = None) -> int:
         """Offload up to ``max_pages`` pending stale pages.  Returns pages shipped."""
+        if not self.enabled:
+            return 0
         shipped = 0
         budget = max_pages if max_pages is not None else self.retention.pending_pages
         while budget > 0:
@@ -108,6 +114,8 @@ class OffloadEngine:
 
     def drain_all(self) -> int:
         """Offload every pending stale page."""
+        if not self.enabled:
+            return 0
         total = 0
         while self.retention.pending_pages > 0:
             shipped = self.drain(max_pages=self.retention.pending_pages)
@@ -149,6 +157,8 @@ class OffloadEngine:
 
     def offload_log_segments(self, oplog: OperationLog) -> int:
         """Ship every sealed-but-unoffloaded log segment.  Returns segments shipped."""
+        if not self.enabled:
+            return 0
         cursor = self._log_segment_cursor
         if cursor >= oplog.sealed_segment_count:
             return 0

@@ -32,6 +32,7 @@ class RetentionStats:
     pages_released_unoffloaded: int = 0
     relocations: int = 0
     reclaim_pressure_events: int = 0
+    pages_pressure_evicted: int = 0
 
     @property
     def data_loss_pages(self) -> int:
@@ -54,15 +55,25 @@ class RetentionManager:
         self,
         offload_engine: Optional["OffloadEngine"] = None,
         retain_trimmed: bool = True,
+        retain_overwrites: bool = True,
     ) -> None:
         self._offload_engine = offload_engine
         #: RSSD's enhanced trim retains trimmed data; the trim ablation
         #: disables this to measure what the enhancement buys.
         self.retain_trimmed = retain_trimmed
+        #: Selective retention of overwrite-invalidated pages; the
+        #: ``selective-retention`` ablation disables this, making
+        #: overwritten versions expendable exactly like a stock SSD.
+        self.retain_overwrites = retain_overwrites
+        #: The ``retention-eviction`` ablation sets this: under GC
+        #: pressure the manager force-evicts the oldest pending pages
+        #: (counted as data loss) instead of draining the NVMe-oE path.
+        self.evict_under_pressure = False
         self.stats = RetentionStats()
         self._pending: Deque[StalePage] = deque()
         self._archive: Dict[int, List[StalePage]] = {}
         self._expendable: set = set()
+        self._pressure_evicted: set = set()
 
     # -- wiring ----------------------------------------------------------------
 
@@ -75,7 +86,11 @@ class RetentionManager:
     def on_invalidate(self, record: StalePage) -> None:
         """Retain a newly stale page and queue it for offload, in time order."""
         self.stats.stale_pages_seen += 1
-        if not self.retain_trimmed and record.cause is InvalidationCause.TRIM:
+        if record.cause is InvalidationCause.TRIM:
+            retain = self.retain_trimmed
+        else:
+            retain = self.retain_overwrites
+        if not retain:
             self._expendable.add(id(record))
             return
         self._pending.append(record)
@@ -85,7 +100,9 @@ class RetentionManager:
         """Stale data may be destroyed only once it is safe on the remote tier."""
         if id(record) in self._expendable:
             return True
-        return record.offloaded
+        if record.offloaded:
+            return True
+        return id(record) in self._pressure_evicted
 
     def count_releasable(self, records: List[StalePage]) -> int:
         """Batched :meth:`may_release` used by GC victim accounting.
@@ -95,16 +112,23 @@ class RetentionManager:
         semantics.
         """
         expendable = self._expendable
-        if expendable:
+        evicted = self._pressure_evicted
+        if expendable or evicted:
             return sum(
                 1 for record in records
-                if record.offloaded or id(record) in expendable
+                if record.offloaded
+                or id(record) in expendable
+                or id(record) in evicted
             )
         return sum(1 for record in records if record.offloaded)
 
     def on_release(self, record: StalePage) -> None:
         if id(record) in self._expendable:
             self._expendable.discard(id(record))
+            return
+        if id(record) in self._pressure_evicted:
+            self._pressure_evicted.discard(id(record))
+            self.stats.pages_released_unoffloaded += 1
             return
         if record.offloaded:
             self.stats.pages_released_after_offload += 1
@@ -119,13 +143,37 @@ class RetentionManager:
 
         This is RSSD's answer to the GC attack -- instead of dropping
         retained data, the device momentarily throttles foreground
-        writes while the NVMe-oE path catches up.
+        writes while the NVMe-oE path catches up.  Two ablation variants
+        change the answer: when :attr:`evict_under_pressure` is set (or
+        the offload engine is disabled) the manager instead force-evicts
+        the oldest pending pages, which is honest data loss and is
+        counted as such.
         """
         self.stats.reclaim_pressure_events += 1
         if self._offload_engine is None:
             return 0
+        if self.evict_under_pressure or not self._offload_engine.enabled:
+            return self._evict_pending(needed_pages)
         target = max(needed_pages, self._offload_engine.batch_pages)
         return self._offload_engine.drain(max_pages=target)
+
+    def _evict_pending(self, needed_pages: int) -> int:
+        """Force-evict the oldest pending pages, counting each as data loss.
+
+        The evicted records become releasable by GC without ever reaching
+        the remote tier; :meth:`on_release` books them under
+        ``pages_released_unoffloaded`` so
+        :attr:`RetentionStats.data_loss_pages` measures the damage.
+        """
+        evicted = 0
+        while self._pending and evicted < needed_pages:
+            record = self._pending.popleft()
+            if record.offloaded:
+                continue
+            self._pressure_evicted.add(id(record))
+            self.stats.pages_pressure_evicted += 1
+            evicted += 1
+        return evicted
 
     # -- offload integration ---------------------------------------------------------
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import RSSDConfig
+from repro.core.detection import DetectionReport
 from repro.core.rssd import RSSD
 from repro.defenses.base import Defense
 from repro.sim import SimClock
@@ -32,6 +33,11 @@ class RSSDDefense(Defense):
         config: Optional[RSSDConfig] = None,
     ) -> None:
         self._config_override = config
+        #: Ablation toggles: the ``local-detector`` / ``remote-detector``
+        #: features clear these, making :meth:`detect` skip the
+        #: corresponding analysis and report a non-detection instead.
+        self.local_detection_enabled = True
+        self.remote_detection_enabled = True
         super().__init__(geometry=geometry, clock=clock)
 
     def _build_device(self) -> RSSD:
@@ -61,9 +67,21 @@ class RSSDDefense(Defense):
 
     def detect(self) -> bool:
         # The remote report replays the full operation log; cache it so
-        # detection_time_us() does not repeat the analysis.
-        self._remote_report = self.rssd.detect()
-        self._local_report = self.rssd.local_detector.report()
+        # detection_time_us() does not repeat the analysis.  Ablated
+        # detectors are replaced by an honest "ran nothing, saw nothing"
+        # report so downstream consumers keep both slots.
+        if self.remote_detection_enabled:
+            self._remote_report = self.rssd.detect()
+        else:
+            self._remote_report = DetectionReport(
+                detector="remote-offloaded", detected=False, trigger="disabled"
+            )
+        if self.local_detection_enabled:
+            self._local_report = self.rssd.local_detector.report()
+        else:
+            self._local_report = DetectionReport(
+                detector="local-window", detected=False, trigger="disabled"
+            )
         return self._remote_report.detected or self._local_report.detected
 
     def detection_time_us(self) -> Optional[int]:

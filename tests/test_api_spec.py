@@ -74,9 +74,17 @@ class TestSerialization:
         assert rebuilt.to_json() == spec.to_json()
 
     def test_json_is_canonical_and_versioned(self):
+        # A spec with no ablation serializes exactly as version 1 did, so
+        # pre-existing spec files and hashes stay valid.
         payload = json.loads(ScenarioSpec().to_json())
-        assert payload["version"] == SPEC_VERSION
+        assert payload["version"] == 1
+        assert "ablation" not in payload
         assert list(payload) == sorted(payload)
+        # Only the new optional field opts a spec into the current version.
+        ablated = json.loads(ScenarioSpec(ablation=("enhanced-trim",)).to_json())
+        assert ablated["version"] == SPEC_VERSION
+        assert ablated["ablation"] == ["enhanced-trim"]
+        assert list(ablated) == sorted(ablated)
 
     def test_newer_versions_are_refused(self):
         payload = ScenarioSpec().to_dict()

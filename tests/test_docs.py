@@ -39,6 +39,7 @@ MKDOCS_YML = REPO_ROOT / "mkdocs.yml"
 
 #: Packages whose public API the mkdocs site documents.
 DOCUMENTED_PACKAGES = [
+    "repro.ablation",
     "repro.api",
     "repro.attacks",
     "repro.campaign",
