@@ -22,13 +22,15 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.ablation.config import AblationConfig
 from repro.ablation.registry import validate_features
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.api.spec import ScenarioSpec
+    from repro.campaign.cache import CacheStats, ResultCache
+    from repro.campaign.checkpoint import CheckpointJournal
 
 #: Bump when the ablation artifact schema changes; readers refuse newer.
 ABLATION_ARTIFACT_VERSION = 1
@@ -87,6 +89,15 @@ class AblationArtifact:
     sweep: Dict[str, object]
     cells: List[AblationCellResult] = field(default_factory=list)
     version: int = ABLATION_ARTIFACT_VERSION
+    #: Cache accounting for the run that built this artifact; in-memory
+    #: provenance only, excluded from serialization and comparison so
+    #: warm-cache runs stay bit-identical to cold ones.
+    cache_stats: Optional["CacheStats"] = field(
+        default=None, compare=False, repr=False
+    )
+    #: Cells served from a resumed checkpoint journal (provenance only,
+    #: excluded from serialization and comparison like ``cache_stats``).
+    cells_resumed: int = field(default=0, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         """Sort cells by key so serialization is execution-order independent."""
@@ -178,6 +189,17 @@ class AblationArtifact:
                         f"{key}: {fname} {other[fname]!r} -> {mine[fname]!r}"
                     )
         return differences
+
+
+def _ablation_cell_key(spec: "ScenarioSpec") -> str:
+    """The journal/cache key of one ablation cell.
+
+    Matches :attr:`AblationCellResult.cell_key`: the scenario key plus
+    the config label (the ablation is deliberately not part of the
+    scenario key, so the label disambiguates the variants).
+    """
+    config = AblationConfig(disabled=spec.ablation)
+    return f"{spec.scenario_key}/{config.label}"
 
 
 def run_ablation_cell(spec: "ScenarioSpec") -> AblationCellResult:
@@ -305,24 +327,83 @@ class AblationStudy:
                 )
         return out
 
-    def run(self, backend: str = "sequential", jobs: int = 0) -> AblationArtifact:
+    def run(
+        self,
+        backend: str = "sequential",
+        jobs: int = 0,
+        cache: Optional["ResultCache"] = None,
+        journal: Optional["CheckpointJournal"] = None,
+        resume: bool = False,
+        after_cell: Optional[Callable] = None,
+    ) -> AblationArtifact:
         """Execute every cell through an :class:`ExperimentRunner`.
 
         The artifact is bit-identical whichever backend runs it: specs
         are picklable, cells are scored in the worker, and the artifact
-        sorts its cells by key.
+        sorts its cells by key.  The campaign persistence layer rides
+        along unchanged: ``cache`` serves unchanged cells from the
+        content-addressed store (each ablation variant hashes
+        differently because ``ablation`` is part of the spec's
+        canonical JSON), ``journal`` checkpoints each completed cell,
+        ``resume=True`` re-runs only what the journal is missing, and
+        ``after_cell`` fires after each executed cell becomes durable
+        (the fault-injection harness's hook point).
         """
+        from repro.campaign.cache import map_with_cache
+        from repro.campaign.checkpoint import build_header, verify_header
         from repro.campaign.runner import ExperimentRunner
 
         runner = ExperimentRunner(backend=backend, jobs=jobs)
-        cells = runner.map(run_ablation_cell, self.specs())
-        return AblationArtifact(
+        sweep = {
+            "features": list(self.features),
+            "mode": self.mode,
+            "attacks": list(self.attacks),
+            "configs": [config.label for config in self.configs],
+        }
+        completed = None
+        if journal is not None:
+            header = build_header(
+                "ablation",
+                ABLATION_ARTIFACT_VERSION,
+                self.base_spec.seed,
+                {"base_spec": self.base_spec.to_dict(), "sweep": sweep},
+                fingerprint=cache.fingerprint if cache is not None else None,
+            )
+            if resume:
+                found, completed = journal.load()
+                verify_header(found, header)
+                journal.resume()
+            else:
+                journal.start(header)
+        elif resume:
+            raise ValueError("resume=True needs a checkpoint journal")
+        try:
+            cells = map_with_cache(
+                runner,
+                run_ablation_cell,
+                self.specs(),
+                kind="ablation-cell",
+                artifact_version=ABLATION_ARTIFACT_VERSION,
+                key_fn=_ablation_cell_key,
+                hash_fn=lambda spec: spec.spec_hash(),
+                encode=lambda result: result.to_dict(),
+                decode=AblationCellResult.from_dict,
+                cache=cache,
+                journal=journal,
+                completed=completed,
+                after_cell=after_cell,
+            )
+        finally:
+            if journal is not None:
+                journal.close()
+        artifact = AblationArtifact(
             base_spec=self.base_spec.to_dict(),
-            sweep={
-                "features": list(self.features),
-                "mode": self.mode,
-                "attacks": list(self.attacks),
-                "configs": [config.label for config in self.configs],
-            },
+            sweep=sweep,
             cells=list(cells),
         )
+        artifact.cache_stats = cache.stats if cache is not None else None
+        if completed:
+            artifact.cells_resumed = sum(
+                1 for spec in self.specs() if _ablation_cell_key(spec) in completed
+            )
+        return artifact

@@ -17,6 +17,15 @@
   capture, forensic trace recording and ROC labelling are ordinary
   subscribers.
 
+Sweeps over many scenarios (:func:`run_campaign`, :func:`run_roc`, the
+ablation studies) additionally accept the campaign persistence layer:
+a content-addressed :class:`ResultCache` keyed by each cell's
+``spec_hash`` plus the artifact schema version and the running code's
+fingerprint, and a :class:`CheckpointJournal` for killed-sweep resume.
+Hit/miss/invalidation accounting comes back as :class:`CacheStats` on
+the returned artifact's ``cache_stats`` -- never inside the serialized
+artifact, which stays byte-identical with or without the cache.
+
 The campaign engine, the ROC pipeline, the fleet runner and the CLI all
 consume this surface (``repro run --spec scenario.json`` is the
 universal entry point), and everything listed in ``__all__`` below is
@@ -56,6 +65,8 @@ from repro.api.session import (
     score_recovery,
 )
 from repro.api.spec import SPEC_VERSION, ScenarioSpec, SpecValidationError
+from repro.campaign.cache import CacheStats, ResultCache, code_fingerprint
+from repro.campaign.checkpoint import CheckpointError, CheckpointJournal
 from repro.campaign.grid import CampaignGrid
 from repro.campaign.results import CampaignArtifact
 from repro.campaign.roc import RocArtifact
@@ -95,6 +106,12 @@ __all__ = [
     "CampaignArtifact",
     "RocArtifact",
     "FleetReport",
+    # -- persistence: result cache and checkpoint/resume ------------------------
+    "ResultCache",
+    "CacheStats",
+    "CheckpointJournal",
+    "CheckpointError",
+    "code_fingerprint",
     # -- device quickstart ------------------------------------------------------
     "RSSD",
     "RSSDConfig",

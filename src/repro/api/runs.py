@@ -11,7 +11,7 @@ point of the facade: one path, many consumers.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.campaign.engine import run_campaign as run_campaign  # noqa: F401  (re-export)
 from repro.campaign.grid import CampaignGrid, CellSpec
@@ -19,6 +19,10 @@ from repro.campaign.roc import RocArtifact, _run_roc
 from repro.campaign.runner import ExperimentRunner
 from repro.workloads.fleet import FleetFactory, FleetReport, FleetRunner
 from repro.workloads.records import TraceRecord
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.campaign.cache import ResultCache
+    from repro.campaign.checkpoint import CheckpointJournal
 
 
 def run_roc(
@@ -28,6 +32,10 @@ def run_roc(
     filters: Optional[Sequence[str]] = None,
     runner: Optional[ExperimentRunner] = None,
     specs: Optional[List[CellSpec]] = None,
+    cache: Optional["ResultCache"] = None,
+    journal: Optional["CheckpointJournal"] = None,
+    resume: bool = False,
+    after_cell: Optional[Callable] = None,
 ) -> RocArtifact:
     """Execute a grid's cells with detection-quality (ROC) capture.
 
@@ -35,10 +43,22 @@ def run_roc(
     as a ``ScenarioSpec`` + ``Session`` with the labelled-op capture
     subscribed to the session bus, ``specs`` overrides the grid
     expansion, results assemble order-independently, and any backend
-    yields a bit-identical artifact.
+    yields a bit-identical artifact.  ``cache`` / ``journal`` /
+    ``resume`` / ``after_cell`` opt into the persistence layer exactly
+    as on :func:`repro.api.run_campaign` (hit/miss accounting lands on
+    the artifact's ``cache_stats``).
     """
     return _run_roc(
-        grid, backend=backend, jobs=jobs, filters=filters, runner=runner, specs=specs
+        grid,
+        backend=backend,
+        jobs=jobs,
+        filters=filters,
+        runner=runner,
+        specs=specs,
+        cache=cache,
+        journal=journal,
+        resume=resume,
+        after_cell=after_cell,
     )
 
 

@@ -17,9 +17,13 @@ campaign package must not import it back while initializing.
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 from repro.campaign.grid import CampaignGrid, CellSpec
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.campaign.cache import ResultCache
+    from repro.campaign.checkpoint import CheckpointJournal
 from repro.campaign.results import CampaignArtifact, CellResult
 from repro.campaign.runner import ExperimentRunner
 from repro.defenses.base import Defense
@@ -109,6 +113,19 @@ def run_cell(spec: CellSpec) -> CellResult:
     return execute_cell_scenario(spec).to_cell_result()
 
 
+def cell_spec_hash(spec: CellSpec) -> str:
+    """The content hash identifying a cell for the result cache.
+
+    A cell's cache identity is its :class:`~repro.api.spec.ScenarioSpec`
+    hash -- the canonical JSON of every name, size and *resolved* seed
+    -- so any change to what the cell would execute changes the key,
+    and nothing else does.
+    """
+    from repro.api.spec import ScenarioSpec
+
+    return ScenarioSpec.from_cell(spec).spec_hash()
+
+
 def run_campaign(
     grid: CampaignGrid,
     backend: str = "sequential",
@@ -116,20 +133,78 @@ def run_campaign(
     filters: Optional[Sequence[str]] = None,
     runner: Optional[ExperimentRunner] = None,
     specs: Optional[List[CellSpec]] = None,
+    cache: Optional["ResultCache"] = None,
+    journal: Optional["CheckpointJournal"] = None,
+    resume: bool = False,
+    after_cell: Optional[Callable[[int, CellSpec, CellResult], None]] = None,
 ) -> CampaignArtifact:
     """Execute a grid and assemble the (order-independent) artifact.
 
     ``specs`` overrides the grid expansion (the determinism tests use it
     to prove execution order does not matter); the artifact sorts cells
     by key either way.
+
+    The persistence layer is opt-in and changes nothing about the
+    artifact's bytes: ``cache`` serves unchanged cells from a
+    content-addressed store instead of executing them (accounting on
+    the returned artifact's ``cache_stats``), ``journal`` makes every
+    completed cell durable the moment it finishes, and ``resume=True``
+    reloads the journal -- verifying its header pins *this* grid, seed,
+    schema version and code fingerprint -- and re-runs only what is
+    missing.  ``after_cell`` fires after each executed cell becomes
+    durable (the fault-injection harness's hook point).
     """
+    from repro.campaign.cache import map_with_cache
+    from repro.campaign.checkpoint import build_header, verify_header
+    from repro.campaign.results import ARTIFACT_VERSION
+
     if specs is None:
         specs = grid.cells(filters)
     if runner is None:
         runner = ExperimentRunner(backend=backend, jobs=jobs)
-    cells = runner.map(run_cell, specs)
+    completed: Optional[dict] = None
+    if journal is not None:
+        header = build_header(
+            "campaign",
+            ARTIFACT_VERSION,
+            grid.seed,
+            grid.describe(),
+            fingerprint=cache.fingerprint if cache is not None else None,
+        )
+        if resume:
+            found, completed = journal.load()
+            verify_header(found, header)
+            journal.resume()
+        else:
+            journal.start(header)
+    elif resume:
+        raise ValueError("resume=True needs a checkpoint journal")
+    try:
+        cells = map_with_cache(
+            runner,
+            run_cell,
+            specs,
+            kind="campaign-cell",
+            artifact_version=ARTIFACT_VERSION,
+            key_fn=lambda spec: spec.cell_key,
+            hash_fn=cell_spec_hash,
+            encode=lambda result: result.to_dict(),
+            decode=CellResult.from_dict,
+            cache=cache,
+            journal=journal,
+            completed=completed,
+            after_cell=after_cell,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    resumed = (
+        sum(1 for spec in specs if spec.cell_key in completed) if completed else 0
+    )
     return CampaignArtifact(
         campaign_seed=grid.seed,
         grid=grid.describe(),
         cells=cells,
+        cache_stats=cache.stats if cache is not None else None,
+        cells_resumed=resumed,
     )

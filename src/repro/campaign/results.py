@@ -13,7 +13,10 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, TextIO, Union
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.campaign.cache import CacheStats
 
 #: Bump when the artifact schema changes; readers refuse newer versions.
 ARTIFACT_VERSION = 2
@@ -96,6 +99,16 @@ class CampaignArtifact:
     grid: Dict[str, object]
     cells: List[CellResult] = field(default_factory=list)
     version: int = ARTIFACT_VERSION
+    #: Cache hit/miss accounting for the run that built this artifact.
+    #: In-memory provenance only: deliberately excluded from
+    #: :meth:`to_dict`, comparison and the goldens, so a warm-cache or
+    #: resumed run serializes byte-identically to a cold one.
+    cache_stats: Optional["CacheStats"] = field(
+        default=None, compare=False, repr=False
+    )
+    #: Cells served from a resumed checkpoint journal (provenance only,
+    #: excluded from serialization and comparison like ``cache_stats``).
+    cells_resumed: int = field(default=0, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         self.cells = sorted(self.cells, key=lambda cell: cell.cell_key)
@@ -184,3 +197,55 @@ class CampaignArtifact:
                         f"{key}: {fname} {other[fname]!r} -> {mine[fname]!r}"
                     )
         return differences
+
+
+def _indent_block(value: object, level: int) -> str:
+    """``json.dumps(value, indent=2, sort_keys=True)`` nested at ``level``.
+
+    The first line carries no padding (it follows a key or a comma the
+    caller already wrote); every continuation line is shifted by the
+    nesting depth, exactly as ``json.dumps`` would have placed it had
+    ``value`` been embedded in the enclosing document.
+    """
+    text = json.dumps(value, indent=2, sort_keys=True)
+    return text.replace("\n", "\n" + "  " * level)
+
+
+def write_artifact_stream(
+    destination: Union[str, "TextIO"],
+    campaign_seed: int,
+    grid: Dict[str, object],
+    cells: Iterable[Dict[str, object]],
+    version: int = ARTIFACT_VERSION,
+) -> int:
+    """Write a campaign artifact incrementally, one cell at a time.
+
+    Produces **exactly** the bytes of :meth:`CampaignArtifact.to_json`
+    (canonical key order, two-space indentation, trailing newline)
+    without ever materializing the cell list: ``cells`` is an iterable
+    of JSON-ready cell dicts **already sorted by** ``cell_key`` --
+    typically :meth:`CheckpointJournal.iter_payloads_sorted
+    <repro.campaign.checkpoint.CheckpointJournal.iter_payloads_sorted>`,
+    which holds only a key->offset index in memory.  That pair is what
+    keeps million-cell grids from holding every ``CellResult`` at once.
+    Returns the number of cells written.
+    """
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            return write_artifact_stream(
+                handle, campaign_seed, grid, cells, version=version
+            )
+    out = destination
+    out.write("{\n")
+    out.write(f'  "campaign_seed": {json.dumps(campaign_seed)},\n')
+    out.write('  "cells": [')
+    count = 0
+    for cell in cells:
+        out.write(",\n    " if count else "\n    ")
+        out.write(_indent_block(cell, 2))
+        count += 1
+    out.write("\n  ],\n" if count else "],\n")
+    out.write(f'  "grid": {_indent_block(grid, 1)},\n')
+    out.write(f'  "version": {json.dumps(version)}\n')
+    out.write("}\n")
+    return count

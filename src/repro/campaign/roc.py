@@ -20,9 +20,13 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.campaign.grid import CampaignGrid, CellSpec
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.campaign.cache import CacheStats, ResultCache
+    from repro.campaign.checkpoint import CheckpointJournal
 from repro.campaign.runner import ExperimentRunner
 from repro.core.detection import (
     DETECTOR_DEFAULTS,
@@ -219,6 +223,15 @@ class RocArtifact:
     grid: Dict[str, object]
     curves: List[RocCurve] = field(default_factory=list)
     version: int = ROC_ARTIFACT_VERSION
+    #: Cache accounting for the run that built this artifact; in-memory
+    #: provenance only, excluded from serialization and comparison so
+    #: warm-cache runs stay bit-identical to cold ones.
+    cache_stats: Optional["CacheStats"] = field(
+        default=None, compare=False, repr=False
+    )
+    #: Cells served from a resumed checkpoint journal (provenance only,
+    #: excluded from serialization and comparison like ``cache_stats``).
+    cells_resumed: int = field(default=0, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         self.curves = sorted(self.curves, key=lambda curve: curve.curve_key)
@@ -306,20 +319,74 @@ def _run_roc(
     filters: Optional[Sequence[str]] = None,
     runner: Optional[ExperimentRunner] = None,
     specs: Optional[List[CellSpec]] = None,
+    cache: Optional["ResultCache"] = None,
+    journal: Optional["CheckpointJournal"] = None,
+    resume: bool = False,
+    after_cell: Optional[Callable[[int, CellSpec, List[RocCurve]], None]] = None,
 ) -> RocArtifact:
     """Shared implementation behind :func:`repro.api.run_roc`.
 
     The same contract as :func:`repro.campaign.engine.run_campaign`:
     ``specs`` overrides the grid expansion, results are assembled
     order-independently, and any backend yields the same artifact.
+    The ``cache`` / ``journal`` / ``resume`` persistence layer comes
+    for free through :func:`repro.campaign.cache.map_with_cache` --
+    one journal record per cell, carrying that cell's full curve list.
     """
+    from repro.campaign.cache import map_with_cache
+    from repro.campaign.checkpoint import build_header, verify_header
+    from repro.campaign.engine import cell_spec_hash
+
     if specs is None:
         specs = grid.cells(filters)
     if runner is None:
         runner = ExperimentRunner(backend=backend, jobs=jobs)
-    per_cell = runner.map(run_roc_cell, specs)
+    completed = None
+    if journal is not None:
+        header = build_header(
+            "roc",
+            ROC_ARTIFACT_VERSION,
+            grid.seed,
+            grid.describe(),
+            fingerprint=cache.fingerprint if cache is not None else None,
+        )
+        if resume:
+            found, completed = journal.load()
+            verify_header(found, header)
+            journal.resume()
+        else:
+            journal.start(header)
+    elif resume:
+        raise ValueError("resume=True needs a checkpoint journal")
+    try:
+        per_cell = map_with_cache(
+            runner,
+            run_roc_cell,
+            specs,
+            kind="roc-cell",
+            artifact_version=ROC_ARTIFACT_VERSION,
+            key_fn=lambda spec: spec.cell_key,
+            hash_fn=cell_spec_hash,
+            encode=lambda curves: [curve.to_dict() for curve in curves],
+            decode=lambda payload: [RocCurve.from_dict(curve) for curve in payload],
+            cache=cache,
+            journal=journal,
+            completed=completed,
+            after_cell=after_cell,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     curves = [curve for cell_curves in per_cell for curve in cell_curves]
-    return RocArtifact(campaign_seed=grid.seed, grid=grid.describe(), curves=curves)
+    artifact = RocArtifact(
+        campaign_seed=grid.seed, grid=grid.describe(), curves=curves
+    )
+    artifact.cache_stats = cache.stats if cache is not None else None
+    if completed:
+        artifact.cells_resumed = sum(
+            1 for spec in specs if spec.cell_key in completed
+        )
+    return artifact
 
 
 def run_roc(

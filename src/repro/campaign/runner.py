@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, List, Sequence, TypeVar
+from typing import Callable, Iterable, Iterator, List, Sequence, TypeVar
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
@@ -50,13 +50,28 @@ class ExperimentRunner:
         self, fn: Callable[[ItemT], ResultT], items: Iterable[ItemT]
     ) -> List[ResultT]:
         """Apply ``fn`` to every item, returning results in input order."""
+        return list(self.imap(fn, items))
+
+    def imap(
+        self, fn: Callable[[ItemT], ResultT], items: Iterable[ItemT]
+    ) -> Iterator[ResultT]:
+        """Apply ``fn`` to every item, yielding results in input order.
+
+        The incremental form of :meth:`map`: results are handed back
+        one at a time, in input order, as soon as each is available.
+        The checkpoint journal rides on this -- every completed cell
+        can be made durable before the next one is consumed, so a
+        killed sweep loses at most the cells still in flight.
+        """
         work: Sequence[ItemT] = list(items)
         if not work:
-            return []
+            return
         if self.backend == "sequential" or self.jobs == 1 or len(work) == 1:
-            return [fn(item) for item in work]
+            for item in work:
+                yield fn(item)
+            return
         executor_cls = (
             ThreadPoolExecutor if self.backend == "thread" else ProcessPoolExecutor
         )
         with executor_cls(max_workers=min(self.jobs, len(work))) as pool:
-            return list(pool.map(fn, work))
+            yield from pool.map(fn, work)

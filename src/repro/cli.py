@@ -168,14 +168,68 @@ def _expand_cells(grid, filters):
     return specs
 
 
-def _save_and_check_baseline(sections, artifact, args) -> str:
+def _persistence_from_args(args):
+    """Build the cache / journal / resume trio from the shared CLI flags.
+
+    ``--cache-dir DIR`` turns on the content-addressed result cache
+    (``DIR/cache/``) and the checkpoint journal (``DIR/journal.jsonl``);
+    ``--resume DIR`` reuses an existing directory's journal, re-running
+    only the cells it is missing; ``--no-cache`` keeps the journal but
+    skips cache lookups and stores.  ``REPRO_CRASH_AFTER_CELLS=N`` arms
+    the fault-injection hook that hard-exits after the N-th executed
+    cell (the kill/resume test harness and CI ``resume-smoke`` job).
+    """
+    import os
+
+    from repro.campaign.cache import ResultCache
+    from repro.campaign.checkpoint import CheckpointJournal, crash_hook_from_env
+
+    resume = bool(getattr(args, "resume", None))
+    state_dir = getattr(args, "resume", None) or getattr(args, "cache_dir", None)
+    cache = journal = None
+    if state_dir:
+        os.makedirs(state_dir, exist_ok=True)
+        if not getattr(args, "no_cache", False):
+            cache = ResultCache(os.path.join(state_dir, "cache"))
+        journal = CheckpointJournal(os.path.join(state_dir, "journal.jsonl"))
+    return cache, journal, resume, crash_hook_from_env()
+
+
+def _persistence_sections(sections, artifact, cache, resume) -> None:
+    """Append the cache/resume accounting lines to the report."""
+    if cache is not None and artifact.cache_stats is not None:
+        sections.append(f"cache: {artifact.cache_stats.summary()} ({cache.root})")
+    if resume:
+        resumed = getattr(artifact, "cells_resumed", None)
+        if resumed is not None:
+            sections.append(f"resume: {resumed} cells restored from the journal")
+
+
+def _save_and_check_baseline(sections, artifact, args, journal=None) -> str:
     """Shared artifact tail of `campaign` / `roc`: --output and --baseline.
 
     Appends the save/compare outcome to ``sections`` and returns the
     joined output; a baseline mismatch prints everything and exits 1.
+    When a campaign checkpoint ``journal`` is active, the output is
+    written through the streaming artifact writer (reading cells back
+    from the journal, sorted, one at a time) -- same bytes, bounded
+    memory.
     """
     if args.output:
-        artifact.save(args.output)
+        from repro.campaign.results import CampaignArtifact
+
+        if journal is not None and isinstance(artifact, CampaignArtifact):
+            from repro.campaign.results import write_artifact_stream
+
+            write_artifact_stream(
+                args.output,
+                artifact.campaign_seed,
+                artifact.grid,
+                journal.iter_payloads_sorted(keys=set(artifact.cell_keys)),
+                version=artifact.version,
+            )
+        else:
+            artifact.save(args.output)
         sections.append(f"artifact written to {args.output}")
     if args.baseline:
         baseline = type(artifact).load(args.baseline)
@@ -212,7 +266,17 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
     )
     backend = _resolve_backend(args)
     specs = _expand_cells(grid, args.filter)
-    artifact = run_campaign(grid, backend=backend, jobs=args.jobs, specs=specs)
+    cache, journal, resume, after_cell = _persistence_from_args(args)
+    artifact = run_campaign(
+        grid,
+        backend=backend,
+        jobs=args.jobs,
+        specs=specs,
+        cache=cache,
+        journal=journal,
+        resume=resume,
+        after_cell=after_cell,
+    )
 
     sections = [
         f"Campaign: {len(artifact.cells)} cells, seed {grid.seed}, "
@@ -223,7 +287,8 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
     forensics_table = render_campaign_forensics(artifact)
     if forensics_table:
         sections.append(forensics_table)
-    return _save_and_check_baseline(sections, artifact, args)
+    _persistence_sections(sections, artifact, cache, resume)
+    return _save_and_check_baseline(sections, artifact, args, journal=journal)
 
 
 def _cmd_roc(args: argparse.Namespace) -> str:
@@ -247,7 +312,17 @@ def _cmd_roc(args: argparse.Namespace) -> str:
     )
     backend = _resolve_backend(args)
     specs = _expand_cells(grid, args.filter)
-    artifact = run_roc(grid, backend=backend, jobs=args.jobs, specs=specs)
+    cache, journal, resume, after_cell = _persistence_from_args(args)
+    artifact = run_roc(
+        grid,
+        backend=backend,
+        jobs=args.jobs,
+        specs=specs,
+        cache=cache,
+        journal=journal,
+        resume=resume,
+        after_cell=after_cell,
+    )
 
     sections = [
         f"Detection quality: {len(artifact.curves)} ROC curves over "
@@ -257,6 +332,7 @@ def _cmd_roc(args: argparse.Namespace) -> str:
     ]
     if not args.quality_only:
         sections.append(render_detection_roc(artifact))
+    _persistence_sections(sections, artifact, cache, resume)
     return _save_and_check_baseline(sections, artifact, args)
 
 
@@ -299,7 +375,15 @@ def _cmd_ablate(args: argparse.Namespace) -> str:
     except (AblationError, KeyError, ValueError) as exc:
         raise SystemExit(f"error: {exc}")
     backend = _resolve_backend(args)
-    artifact = study.run(backend=backend, jobs=args.jobs)
+    cache, journal, resume, after_cell = _persistence_from_args(args)
+    artifact = study.run(
+        backend=backend,
+        jobs=args.jobs,
+        cache=cache,
+        journal=journal,
+        resume=resume,
+        after_cell=after_cell,
+    )
     impacts = calculate_metrics(artifact)
 
     sections = [
@@ -311,6 +395,7 @@ def _cmd_ablate(args: argparse.Namespace) -> str:
     ]
     if impacts:
         sections.append(render_impact_table(impacts))
+    _persistence_sections(sections, artifact, cache, resume)
     if args.csv:
         with open(args.csv, "w", encoding="utf-8") as handle:
             handle.write(render_impact_csv(impacts) + "\n")
@@ -608,11 +693,29 @@ def _parent_parsers() -> dict:
         "--filter", nargs="*", default=None, metavar="PATTERN",
         help="only run cells whose defense/attack/workload/device key matches",
     )
+    cache = argparse.ArgumentParser(add_help=False)
+    cache.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache + checkpoint journal directory; "
+             "re-runs of unchanged cells are served from the store",
+    )
+    cache.add_argument(
+        "--no-cache", action="store_true",
+        help="with --cache-dir/--resume: keep the checkpoint journal but "
+             "skip cache lookups and stores",
+    )
+    cache.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="resume a killed sweep from DIR's checkpoint journal; only the "
+             "missing cells run, and the final artifact is byte-identical "
+             "to an uninterrupted run",
+    )
     return {
         "seed": seed,
         "parallel": parallel,
         "output": output,
         "artifact": artifact,
+        "cache": cache,
     }
 
 
@@ -707,7 +810,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     ablate = subparsers.add_parser(
         "ablate",
-        parents=[parents["seed"], parents["parallel"], parents["output"]],
+        parents=[
+            parents["seed"], parents["parallel"], parents["output"], parents["cache"]
+        ],
         help="Component-level ablation sweep over one scenario",
     )
     ablate.add_argument(
@@ -746,7 +851,8 @@ def build_parser() -> argparse.ArgumentParser:
     campaign = subparsers.add_parser(
         "campaign",
         parents=[
-            parents["seed"], parents["parallel"], parents["output"], parents["artifact"]
+            parents["seed"], parents["parallel"], parents["output"],
+            parents["artifact"], parents["cache"],
         ],
         help="Run a defense x attack x workload campaign grid",
         description=(
@@ -769,7 +875,8 @@ def build_parser() -> argparse.ArgumentParser:
     roc = subparsers.add_parser(
         "roc",
         parents=[
-            parents["seed"], parents["parallel"], parents["output"], parents["artifact"]
+            parents["seed"], parents["parallel"], parents["output"],
+            parents["artifact"], parents["cache"],
         ],
         help="Detection-quality (ROC) sweep of evasive attacks vs defenses",
         description=(
