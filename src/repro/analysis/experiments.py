@@ -15,9 +15,9 @@ from repro.analysis.retention import (
     FigureTwoRow,
     RetentionScenario,
     figure2_rows,
+    lookup_volume,
 )
-from repro.analysis.stats import mean, relative_overhead
-from repro.api.environment import provision_environment
+from repro.analysis.stats import relative_overhead
 from repro.attacks.base import AttackOutcome
 from repro.attacks.classic import ClassicRansomware, DestructionMode
 from repro.attacks.gc_attack import GCAttack
@@ -26,14 +26,11 @@ from repro.attacks.trimming_attack import TrimmingAttack
 from repro.core.config import RSSDConfig
 from repro.core.rssd import RSSD
 from repro.defenses.matrix import CapabilityMatrix, MatrixRow, default_defense_factories
-from repro.sim import SimClock, US_PER_SECOND
 from repro.ssd.device import SSD
 from repro.ssd.geometry import SSDGeometry
 from repro.workloads.fio import FioJob, standard_jobs
-from repro.workloads.records import TraceRecord
 from repro.workloads.replay import TraceReplayer
-from repro.workloads.synthetic import UniformRandomWorkload, ZipfianWorkload, profile_workload
-from repro.analysis.retention import lookup_volume
+from repro.workloads.synthetic import ZipfianWorkload, profile_workload
 
 
 # ---------------------------------------------------------------------------
@@ -263,6 +260,8 @@ def run_recovery_experiment(
     file_size_bytes: int = 8192,
 ) -> List[RecoveryRow]:
     """Attack RSSD, recover, and verify the restored data page by page."""
+    from repro.api.environment import provision_environment
+
     geometry = geometry if geometry is not None else SSDGeometry.tiny()
     attack_names = attack_names if attack_names is not None else [
         "classic",
@@ -343,6 +342,8 @@ def run_forensics_experiment(
     seed: int = 13,
 ) -> List[ForensicsRow]:
     """Mix an attack into growing background workloads and rebuild the chain."""
+    from repro.api.environment import provision_environment
+
     geometry = geometry if geometry is not None else SSDGeometry.tiny()
     background_ops_list = background_ops_list if background_ops_list is not None else [
         200,
@@ -366,7 +367,7 @@ def run_forensics_experiment(
         TraceReplayer(rssd, honor_timestamps=False).replay(records)
 
         attack = ClassicRansomware()
-        outcome = attack.execute(env)
+        attack.execute(env)
         rssd.drain_offload_queue()
 
         report = rssd.investigate()

@@ -30,7 +30,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.campaign.results import CellResult
 
 from repro.api.events import (
     DetectionEvent,
@@ -42,7 +45,7 @@ from repro.api.events import (
 )
 from repro.api.spec import ScenarioSpec
 from repro.attacks.base import AttackEnvironment, AttackOutcome
-from repro.defenses.base import Defense
+from repro.defenses.base import Defense, ForensicsEngineLike
 from repro.defenses.matrix import DEFENDED_THRESHOLD
 from repro.forensics import TraceRecorder, reference_image
 from repro.sim import SimClock
@@ -91,7 +94,7 @@ class SessionResult:
     recorder: Optional[TraceRecorder] = None
     spec: Optional[ScenarioSpec] = None
 
-    def to_cell_result(self):
+    def to_cell_result(self) -> "CellResult":
         """Reduce to a picklable campaign :class:`~repro.campaign.results.CellResult`.
 
         Requires a session built from a :class:`ScenarioSpec` (the cell
@@ -545,7 +548,7 @@ class Session:
             )
         return self._detection_cache
 
-    def forensics(self):
+    def forensics(self) -> "Optional[ForensicsEngineLike]":
         """The defense's post-attack analysis engine, or ``None`` (cached).
 
         Available for defenses with ``supports_forensics`` (structurally
@@ -564,7 +567,7 @@ class Session:
 
     # -- internals ---------------------------------------------------------
 
-    def _resolved(self, name: str, override):
+    def _resolved(self, name: str, override: Optional[object]) -> object:
         """An override if given, else the spec's field of the same name."""
         if override is not None:
             return override
@@ -603,13 +606,13 @@ class Session:
         # Like the host-op forwarder, every tap below skips event
         # construction when nobody is listening (evictions alone can
         # fire tens of thousands of times in a flooding scenario).
-        def on_gc(result, timestamp_us, forced) -> None:
+        def on_gc(result: Any, timestamp_us: int, forced: bool) -> None:
             if bus.has_subscribers(GCEvent):
                 bus.publish(GCEvent.from_result(result, timestamp_us, forced))
             else:
                 bus.count_discarded(GCEvent)
 
-        def on_evict(record, cause, timestamp_us) -> None:
+        def on_evict(record: Any, cause: str, timestamp_us: int) -> None:
             if bus.has_subscribers(RetentionEvictEvent):
                 bus.publish(
                     RetentionEvictEvent(
@@ -619,7 +622,7 @@ class Session:
             else:
                 bus.count_discarded(RetentionEvictEvent)
 
-        def on_offload(kind, count, wire_bytes, timestamp_us) -> None:
+        def on_offload(kind: str, count: int, wire_bytes: int, timestamp_us: int) -> None:
             if bus.has_subscribers(OffloadEvent):
                 bus.publish(
                     OffloadEvent(

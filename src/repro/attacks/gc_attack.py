@@ -14,7 +14,6 @@ from repro.attacks.base import AttackEnvironment, AttackOutcome, RansomwareAttac
 from repro.attacks.classic import ClassicRansomware, DestructionMode
 from repro.host.filesystem import FileSystemError
 from repro.ssd.errors import SSDError
-from repro.ssd.flash import PageContent
 
 
 class GCAttack(RansomwareAttack):

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 from repro.campaign.grid import CampaignGrid, CellSpec
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.api.session import SessionResult
     from repro.campaign.cache import ResultCache
     from repro.campaign.checkpoint import CheckpointJournal
 from repro.campaign.results import CampaignArtifact, CellResult
@@ -40,7 +41,7 @@ _API_ALIASES = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     """Forward the moved scenario-scoring names to :mod:`repro.api.session`."""
     if name in _API_ALIASES:
         from repro.api import session as api_session
@@ -61,7 +62,7 @@ def execute_scenario(
     user_activity_hours: float,
     recent_edit_fraction: float,
     observers: Optional[Sequence[object]] = None,
-):
+) -> "SessionResult":
     """Run one (defense, attack, workload) scenario from live factories.
 
     A thin wrapper that builds a :class:`~repro.api.session.Session`
@@ -91,7 +92,7 @@ def execute_scenario(
 
 def execute_cell_scenario(
     spec: CellSpec, observers: Optional[Sequence[object]] = None
-):
+) -> "SessionResult":
     """Execute one cell spec and keep the live scenario objects.
 
     Builds the cell as a ``ScenarioSpec`` + ``Session`` (the facade

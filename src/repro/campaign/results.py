@@ -237,7 +237,7 @@ def write_artifact_stream(
             )
     out = destination
     out.write("{\n")
-    out.write(f'  "campaign_seed": {json.dumps(campaign_seed)},\n')
+    out.write(f'  "campaign_seed": {json.dumps(campaign_seed, sort_keys=True)},\n')
     out.write('  "cells": [')
     count = 0
     for cell in cells:
@@ -246,6 +246,6 @@ def write_artifact_stream(
         count += 1
     out.write("\n  ],\n" if count else "],\n")
     out.write(f'  "grid": {_indent_block(grid, 1)},\n')
-    out.write(f'  "version": {json.dumps(version)}\n')
+    out.write(f'  "version": {json.dumps(version, sort_keys=True)}\n')
     out.write("}\n")
     return count

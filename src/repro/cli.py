@@ -25,6 +25,8 @@ subcommands are grid- and fleet-level conveniences over the same path.
 from __future__ import annotations
 
 import argparse
+import json
+from pathlib import Path
 from typing import List, Optional
 
 from repro import __version__
@@ -659,6 +661,95 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
     return header + report.format_table()
 
 
+def _cmd_lint(args: argparse.Namespace) -> str:
+    from repro.lint import (
+        BaselineError,
+        LayerModel,
+        LintConfig,
+        apply_baseline,
+        lint_paths,
+        load_baseline,
+        prune_baseline,
+        write_baseline,
+        write_fingerprint,
+    )
+    from repro.lint.runner import build_contexts, discover_files
+
+    config = LintConfig(
+        layers_path=args.layers,
+        fingerprint_path=args.schema_fingerprint,
+        check_schemas=not args.no_schema_check,
+    )
+    paths = [Path(p) for p in args.paths]
+
+    if args.write_schema_fingerprint:
+        model = LayerModel.load(args.layers)
+        files = discover_files(paths)
+        by_module, _, _ = build_contexts(files, model, Path.cwd())
+        target = write_fingerprint(by_module, model, args.schema_fingerprint)
+        return f"wrote schema fingerprint: {target}"
+
+    findings = lint_paths(paths, config)
+
+    if args.write_baseline:
+        if args.baseline is None:
+            raise SystemExit("--write-baseline requires --baseline FILE")
+        try:
+            write_baseline(args.baseline, findings)
+        except BaselineError as exc:
+            raise SystemExit(f"error: {exc}")
+        return f"wrote baseline with {len(findings)} entries: {args.baseline}"
+
+    suppressed: list = []
+    stale: list = []
+    if args.baseline is not None and args.baseline.exists():
+        try:
+            baseline = load_baseline(args.baseline)
+        except BaselineError as exc:
+            raise SystemExit(f"error: {exc}")
+        result = apply_baseline(findings, baseline)
+        findings, suppressed, stale = result.new, result.suppressed, result.stale
+        if args.prune_baseline and stale:
+            removed = prune_baseline(args.baseline, result)
+            stale_note = f"pruned {removed} stale baseline entries"
+            stale = []
+        else:
+            stale_note = None
+    else:
+        stale_note = None
+
+    if args.fmt == "json":
+        report = json.dumps(
+            {
+                "findings": [f.to_dict() for f in findings],
+                "suppressed": len(suppressed),
+                "stale": stale,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    else:
+        lines = [f.format() for f in findings]
+        for entry in stale:
+            lines.append(
+                f"stale baseline entry: {entry['rule']} {entry['path']}: "
+                f"{entry['message']} (use --prune-baseline to drop)"
+            )
+        if stale_note:
+            lines.append(stale_note)
+        summary = (
+            f"{len(findings)} finding(s)"
+            + (f", {len(suppressed)} suppressed" if suppressed else "")
+        )
+        lines.append(summary)
+        report = "\n".join(lines)
+
+    if findings:
+        print(report)
+        raise SystemExit(1)
+    return report
+
+
 def _parent_parsers() -> dict:
     """Shared parent parsers for flags repeated across subcommands.
 
@@ -956,6 +1047,48 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--per-op", action="store_true", help="use the per-op replay loop")
     fleet.add_argument("--max-batch-pages", type=int, default=128)
     fleet.set_defaults(func=_cmd_fleet)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="AST-based invariant checks: determinism, layering, "
+        "serialization, concurrency",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories to lint"
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+        help="report format",
+    )
+    lint.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline file suppressing known findings (add-only)",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="create the baseline from current findings (refuses to overwrite)",
+    )
+    lint.add_argument(
+        "--prune-baseline", action="store_true",
+        help="rewrite the baseline without stale entries",
+    )
+    lint.add_argument(
+        "--layers", type=Path, default=None,
+        help="layer table override (default: packaged layers.toml)",
+    )
+    lint.add_argument(
+        "--schema-fingerprint", type=Path, default=None,
+        help="pinned schema fingerprint override",
+    )
+    lint.add_argument(
+        "--write-schema-fingerprint", action="store_true",
+        help="regenerate the pinned schema fingerprint and exit",
+    )
+    lint.add_argument(
+        "--no-schema-check", action="store_true",
+        help="skip the project-level schema fingerprint comparison",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.core.forensics import PostAttackAnalyzer, StreamProfile
+from repro.core.forensics import PostAttackAnalyzer
 from repro.core.oplog import OperationLog
 from repro.crypto.entropy import (
     DEFAULT_ENCRYPTED_THRESHOLD,

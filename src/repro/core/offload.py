@@ -16,7 +16,7 @@ to the remote tier:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.core.oplog import LogSegment, OperationLog

@@ -14,7 +14,6 @@ benchmarks compare RSSD against the baselines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.config import RSSDConfig

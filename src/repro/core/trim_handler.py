@@ -19,7 +19,7 @@ Three modes are provided so the ablation benchmark can compare them:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Set
 
 from repro.ssd.device import SSD

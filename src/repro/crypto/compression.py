@@ -14,7 +14,7 @@ Two layers are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.ssd.flash import PageContent
 

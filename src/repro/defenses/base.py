@@ -11,10 +11,10 @@ the measured version of the paper's Table 1.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Dict, List, Optional, Protocol, runtime_checkable
+from typing import Callable, List, Optional, Protocol, runtime_checkable
 
 from repro.sim import SimClock, US_PER_DAY
-from repro.ssd.device import SSD, HostOp, HostOpType
+from repro.ssd.device import SSD, HostOp
 from repro.ssd.flash import PageContent
 from repro.ssd.ftl import FTL, InvalidationCause, StalePage
 from repro.ssd.geometry import SSDGeometry

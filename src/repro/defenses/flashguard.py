@@ -12,7 +12,7 @@ retained at all.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Set
+from typing import Deque, Set
 
 from repro.defenses.base import HardwareDefense
 from repro.sim import US_PER_DAY

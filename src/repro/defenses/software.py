@@ -13,7 +13,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.crypto.entropy import EntropyWindow
 from repro.defenses.base import SoftwareDefense
-from repro.sim import US_PER_HOUR, US_PER_MINUTE
+from repro.sim import US_PER_HOUR
 from repro.ssd.device import HostOp, HostOpType
 from repro.ssd.flash import PageContent
 

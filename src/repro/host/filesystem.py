@@ -15,8 +15,9 @@ not from file-system metadata.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import random
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.host.blockdev import HostBlockDevice
 
@@ -181,8 +182,6 @@ class SimpleFS:
         self, count: int, file_size_bytes: int, prefix: str = "doc", seed: int = 11
     ) -> List[str]:
         """Create ``count`` files of compressible pseudo-text content."""
-        import random
-
         rng = random.Random(seed)
         words = [
             b"storage", b"flash", b"report", b"quarter", b"meeting", b"budget",

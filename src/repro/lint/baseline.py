@@ -1,0 +1,143 @@
+"""Baseline suppression with add-only semantics.
+
+A baseline file records known findings so ``repro lint`` can gate on
+*new* violations without first fixing the backlog.  The semantics are
+deliberately one-way:
+
+* ``--write-baseline`` creates the file **once** (it refuses to
+  overwrite an existing baseline) -- you cannot silently re-baseline
+  new findings away.
+* matching findings are suppressed; anything not in the file fails the
+  run.
+* entries whose finding no longer exists are reported as *stale* so
+  the baseline shrinks over time; ``--prune-baseline`` rewrites the
+  file without them.
+
+Entries are keyed on (rule, path, message) -- no line or column -- so a
+suppression survives unrelated edits to the same file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.lint.findings import Finding, sort_findings
+
+#: Version tag of the baseline file format.
+BASELINE_SCHEMA = 1
+
+
+class BaselineError(ValueError):
+    """Raised for unusable baseline files or refused overwrites."""
+
+
+@dataclass
+class BaselineResult:
+    """Partition of a lint run against a baseline."""
+
+    #: Findings not covered by the baseline (these fail the run).
+    new: List[Finding] = field(default_factory=list)
+    #: Findings suppressed by a baseline entry.
+    suppressed: List[Finding] = field(default_factory=list)
+    #: Baseline entries whose finding no longer exists.
+    stale: List[Dict[str, str]] = field(default_factory=list)
+
+
+def load_baseline(path: Path) -> List[Dict[str, str]]:
+    """Load baseline entries, validating the file shape."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "entries" not in data:
+        raise BaselineError(f"baseline {path} has no 'entries' list")
+    entries: List[Dict[str, str]] = []
+    for raw in data["entries"]:
+        entries.append(
+            {
+                "rule": str(raw["rule"]),
+                "path": str(raw["path"]),
+                "message": str(raw["message"]),
+            }
+        )
+    return entries
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[Dict[str, str]]
+) -> BaselineResult:
+    """Split findings into new vs suppressed and spot stale entries."""
+    keys = {
+        f"{entry['rule']}\x1f{entry['path']}\x1f{entry['message']}": entry
+        for entry in entries
+    }
+    result = BaselineResult()
+    matched = set()
+    for finding in sort_findings(list(findings)):
+        key = finding.suppression_key()
+        if key in keys:
+            matched.add(key)
+            result.suppressed.append(finding)
+        else:
+            result.new.append(finding)
+    for key, entry in keys.items():
+        if key not in matched:
+            result.stale.append(entry)
+    result.stale.sort(key=lambda e: (e["path"], e["rule"], e["message"]))
+    return result
+
+
+def write_baseline(
+    path: Path, findings: Sequence[Finding], *, overwrite: bool = False
+) -> None:
+    """Write a baseline covering ``findings`` (refuses to clobber one).
+
+    ``overwrite`` exists only for ``--prune-baseline``, which rewrites
+    the file with a subset of its existing entries -- never with new
+    suppressions.
+    """
+    if path.exists() and not overwrite:
+        raise BaselineError(
+            f"baseline {path} already exists; baselines are add-only -- fix "
+            "the new findings or remove the file deliberately"
+        )
+    entries = sorted(
+        {
+            (f.rule, f.path, f.message)
+            for f in findings
+        }
+    )
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "entries": [
+            {"rule": rule, "path": rel_path, "message": message}
+            for rule, rel_path, message in entries
+        ],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def prune_baseline(path: Path, result: BaselineResult) -> int:
+    """Rewrite the baseline dropping stale entries; returns count removed."""
+    keep = sorted(
+        {
+            (f.rule, f.path, f.message)
+            for f in result.suppressed
+        }
+    )
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "entries": [
+            {"rule": rule, "path": rel_path, "message": message}
+            for rule, rel_path, message in keep
+        ],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(result.stale)

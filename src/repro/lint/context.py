@@ -1,0 +1,181 @@
+"""The shared per-file analysis context every rule family visits.
+
+A :class:`FileContext` is built once per file and handed to each rule
+family: the parsed AST with parent links, the module's dotted name (when
+the file sits under a ``src/repro`` tree), the resolved layer, the
+file's import bindings (``np`` -> ``numpy``, ``datetime`` ->
+``datetime.datetime``) and the source ranges of ``TYPE_CHECKING``
+blocks.  Rules stay small because everything positional or
+name-resolution-shaped lives here.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.layers import Layer, LayerModel
+
+
+def module_name_for(path: Path) -> Optional[str]:
+    """Dotted module name for a file under a ``src/repro`` tree.
+
+    Walks the path's parents looking for an ``src`` directory whose
+    child on this path is ``repro``; returns ``None`` when the file is
+    not part of such a tree (the runner skips those files).
+    """
+    parts = path.resolve().parts
+    for index in range(len(parts) - 1, 0, -1):
+        if parts[index] == "repro" and parts[index - 1] == "src":
+            dotted = ".".join(parts[index:-1] + (path.stem,))
+            if path.stem == "__init__":
+                dotted = ".".join(parts[index:-1])
+            return dotted
+    return None
+
+
+class FileContext:
+    """Parsed source, name bindings and layer resolution for one file."""
+
+    def __init__(
+        self,
+        path: Path,
+        source: str,
+        *,
+        rel_path: Optional[str] = None,
+        module: Optional[str] = None,
+        model: Optional[LayerModel] = None,
+    ) -> None:
+        """Parse ``source`` and precompute every shared lookup table."""
+        self.path = path
+        self.rel_path = rel_path if rel_path is not None else path.as_posix()
+        self.source = source
+        self.module: Optional[str] = (
+            module if module is not None else module_name_for(path)
+        )
+        self.tree = ast.parse(source, filename=str(path))
+        self.layer: Optional[Layer] = (
+            model.layer_of(self.module) if model and self.module else None
+        )
+        self._parents: Dict[int, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+        self.import_bindings = self._collect_import_bindings()
+        self._type_checking_spans = self._collect_type_checking_spans()
+
+    # -- structure ---------------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The AST parent of ``node`` (``None`` for the module root)."""
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Yield ``node``'s ancestors, innermost first."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        """The innermost function or lambda containing ``node``, if any."""
+        for ancestor in self.ancestors(node):
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                return ancestor
+        return None
+
+    def at_module_level(self, node: ast.AST) -> bool:
+        """True when ``node`` executes at import time (no enclosing function)."""
+        return self.enclosing_function(node) is None
+
+    def in_type_checking(self, node: ast.AST) -> bool:
+        """True when ``node`` sits inside an ``if TYPE_CHECKING:`` block."""
+        line = getattr(node, "lineno", None)
+        if line is None:
+            return False
+        return any(start <= line <= end for start, end in self._type_checking_spans)
+
+    # -- name resolution ---------------------------------------------------
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted origin of a ``Name``/``Attribute`` chain, aliases resolved.
+
+        ``np.random.seed`` resolves to ``numpy.random.seed`` when the
+        file holds ``import numpy as np``; ``datetime.now`` resolves to
+        ``datetime.datetime.now`` under ``from datetime import
+        datetime``.  Returns ``None`` for chains not rooted in a plain
+        name (subscripts, calls, literals).
+        """
+        chain: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            chain.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        chain.append(current.id)
+        chain.reverse()
+        head = chain[0]
+        origin = self.import_bindings.get(head)
+        if origin is not None:
+            chain = origin.split(".") + chain[1:]
+        return ".".join(chain)
+
+    def _collect_import_bindings(self) -> Dict[str, str]:
+        """Map local names to dotted origins from every import statement."""
+        bindings: Dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    origin = alias.name if alias.asname else alias.name.split(".")[0]
+                    bindings[local] = origin
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    bindings[local] = f"{node.module}.{alias.name}"
+        return bindings
+
+    def _collect_type_checking_spans(self) -> List[Tuple[int, int]]:
+        """Line spans of every ``if TYPE_CHECKING:`` body in the file."""
+        spans: List[Tuple[int, int]] = []
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.If):
+                continue
+            test = self.resolve(node.test)
+            if test in ("TYPE_CHECKING", "typing.TYPE_CHECKING"):
+                body_end = max(
+                    getattr(stmt, "end_lineno", stmt.lineno) for stmt in node.body
+                )
+                spans.append((node.body[0].lineno, body_end))
+        return spans
+
+    # -- import statement targets ------------------------------------------
+
+    def import_targets(self, node: ast.AST) -> List[str]:
+        """Dotted module targets of one ``import``/``from`` statement.
+
+        Relative imports resolve against this file's module name; a
+        relative import in a file with no module name yields nothing.
+        """
+        if isinstance(node, ast.Import):
+            return [alias.name for alias in node.names]
+        if isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                return [node.module] if node.module else []
+            if self.module is None:
+                return []
+            package = self.module.split(".")
+            if not self.path.stem == "__init__":
+                package = package[:-1]
+            base = package[: len(package) - (node.level - 1)]
+            if not base:
+                return []
+            target = ".".join(base + ([node.module] if node.module else []))
+            return [target] if target else []
+        return []

@@ -1,0 +1,285 @@
+"""Determinism rules (REPRO-D1xx).
+
+Every scenario draw must come from an explicit, seeded stream; the
+simulated clock is the only time source; anything that ends up in an
+artifact must iterate in a defined order.  These rules flag the
+constructs that break those invariants statically:
+
+* ``REPRO-D101`` -- module-global ``random.*`` calls (shared hidden
+  state) and unseeded ``random.Random()`` / ``random.SystemRandom``.
+* ``REPRO-D102`` -- ``numpy.random`` global-state calls and unseeded
+  numpy generators.
+* ``REPRO-D103`` -- wall-clock and entropy reads (``time.time``,
+  ``datetime.now``, ``uuid.uuid4``, ...): the :class:`repro.sim.SimClock`
+  is the only clock a scenario may observe.
+* ``REPRO-D104`` -- set-ordering hazards: iterating a set into an
+  ordered output, ``list(set(...))``, and ``os.listdir``/``os.scandir``
+  without ``sorted``.
+* ``REPRO-D105`` -- module-level rng instances (one stream silently
+  shared by every scenario in the process).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+
+#: ``random`` module functions that mutate or read the hidden global
+#: stream.  Calling any of these is REPRO-D101.
+RANDOM_GLOBAL_FUNCS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gauss",
+        "getrandbits", "getstate", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "seed", "setstate", "shuffle", "triangular", "uniform",
+        "vonmisesvariate", "weibullvariate",
+    }
+)
+
+#: numpy generator constructors that are fine *when seeded*.
+NUMPY_SEEDED_OK = frozenset(
+    {"default_rng", "Generator", "RandomState", "SeedSequence",
+     "PCG64", "Philox", "MT19937", "SFC64"}
+)
+
+#: Wall-clock and OS-entropy reads (fully qualified call chains).
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns",
+        "time.process_time", "time.process_time_ns",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+        "uuid.uuid1", "uuid.uuid4", "os.urandom", "secrets.token_bytes",
+        "secrets.token_hex", "secrets.randbits",
+    }
+)
+
+#: Callables whose argument order does not matter, so a set argument or
+#: a set-typed comprehension source inside them is harmless.
+ORDER_INSENSITIVE_CALLS = frozenset(
+    {"sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset",
+     "collections.Counter", "Counter"}
+)
+
+#: Callables that materialize their argument's iteration order.
+ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def _is_set_expr(node: ast.AST, ctx: FileContext) -> bool:
+    """True for expressions that statically evaluate to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        chain = ctx.resolve(node.func)
+        return chain in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, ctx) and _is_set_expr(node.right, ctx)
+    return False
+
+
+def _order_insensitive_parent(node: ast.AST, ctx: FileContext) -> bool:
+    """True when ``node``'s consumer does not observe iteration order."""
+    parent = ctx.parent(node)
+    if isinstance(parent, ast.Call) and node in parent.args:
+        chain = ctx.resolve(parent.func)
+        if chain in ORDER_INSENSITIVE_CALLS:
+            return True
+    if isinstance(parent, ast.Compare):
+        return True  # membership tests
+    if isinstance(parent, ast.Assign) or isinstance(parent, ast.AnnAssign):
+        return True  # stored sets stay sets; flagged where they are iterated
+    if isinstance(parent, ast.BinOp):
+        return True  # still set algebra; the outer expression is checked
+    return False
+
+
+def check_file(ctx: FileContext) -> List[Finding]:
+    """Run every determinism rule over one file context."""
+    if ctx.layer is not None and not ctx.layer.deterministic:
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            findings.extend(_check_call(node, ctx))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if _is_set_expr(node.iter, ctx):
+                findings.append(
+                    _finding(
+                        ctx, node.iter, "REPRO-D104",
+                        "iterating a set in source order; wrap the set in "
+                        "sorted(...) before it reaches an ordered output",
+                    )
+                )
+        elif isinstance(node, ast.comprehension):
+            if _is_set_expr(node.iter, ctx) and not _comp_is_order_insensitive(
+                node, ctx
+            ):
+                findings.append(
+                    _finding(
+                        ctx, node.iter, "REPRO-D104",
+                        "comprehension over a set in source order; wrap the "
+                        "set in sorted(...) or feed an order-insensitive "
+                        "consumer",
+                    )
+                )
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            findings.extend(_check_module_rng(node, ctx))
+    return findings
+
+
+def _comp_is_order_insensitive(comp: ast.comprehension, ctx: FileContext) -> bool:
+    """True when the comprehension feeding on a set is order-insensitive.
+
+    A set comprehension stays a set; a generator handed straight to
+    ``sorted(...)``/``min``/... never exposes its order.
+    """
+    owner = ctx.parent(comp)
+    if isinstance(owner, (ast.SetComp, ast.DictComp)):
+        return True
+    if owner is None:
+        return False
+    return _order_insensitive_parent(owner, ctx)
+
+
+def _check_call(node: ast.Call, ctx: FileContext) -> List[Finding]:
+    """Determinism checks for one call expression."""
+    findings: List[Finding] = []
+    chain = ctx.resolve(node.func)
+    if chain is None:
+        return findings
+
+    # REPRO-D101: the random module's hidden global stream.
+    if chain.startswith("random."):
+        tail = chain.split(".", 1)[1]
+        if tail in RANDOM_GLOBAL_FUNCS:
+            findings.append(
+                _finding(
+                    ctx, node, "REPRO-D101",
+                    f"random.{tail}() uses the interpreter-global stream; "
+                    "thread an explicit seeded random.Random through the "
+                    "scenario instead",
+                )
+            )
+        elif tail == "Random" and not node.args and not node.keywords:
+            findings.append(
+                _finding(
+                    ctx, node, "REPRO-D101",
+                    "random.Random() without a seed draws from OS entropy; "
+                    "pass an explicit seed derived from the scenario",
+                )
+            )
+        elif tail == "SystemRandom":
+            findings.append(
+                _finding(
+                    ctx, node, "REPRO-D101",
+                    "random.SystemRandom is unseedable OS entropy and can "
+                    "never reproduce a scenario",
+                )
+            )
+
+    # REPRO-D102: numpy's global generator state.
+    elif chain.startswith("numpy.random."):
+        tail = chain.rsplit(".", 1)[1]
+        if tail in NUMPY_SEEDED_OK:
+            if not node.args and not node.keywords:
+                findings.append(
+                    _finding(
+                        ctx, node, "REPRO-D102",
+                        f"numpy.random.{tail}() without a seed draws from OS "
+                        "entropy; pass an explicit scenario-derived seed",
+                    )
+                )
+        else:
+            findings.append(
+                _finding(
+                    ctx, node, "REPRO-D102",
+                    f"numpy.random.{tail}() uses numpy's global state; use a "
+                    "seeded numpy.random.default_rng(...) generator instead",
+                )
+            )
+
+    # REPRO-D103: wall clocks and OS entropy.
+    elif chain in WALL_CLOCK_CALLS:
+        findings.append(
+            _finding(
+                ctx, node, "REPRO-D103",
+                f"{chain}() reads the wall clock or OS entropy; the "
+                "simulated clock (repro.sim.SimClock) is the only time "
+                "source a scenario may observe",
+            )
+        )
+
+    # REPRO-D104: materializing a set's iteration order.
+    elif chain in ORDER_SENSITIVE_CALLS and node.args:
+        if _is_set_expr(node.args[0], ctx):
+            findings.append(
+                _finding(
+                    ctx, node, "REPRO-D104",
+                    f"{chain}(set(...)) materializes set order; use "
+                    "sorted(...) for a defined order",
+                )
+            )
+    elif chain in ("os.listdir", "os.scandir"):
+        parent = ctx.parent(node)
+        wrapped = (
+            isinstance(parent, ast.Call)
+            and ctx.resolve(parent.func) == "sorted"
+        )
+        if not wrapped:
+            findings.append(
+                _finding(
+                    ctx, node, "REPRO-D104",
+                    f"{chain}() returns entries in filesystem order; wrap "
+                    "the call in sorted(...)",
+                )
+            )
+    if (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr == "join"
+        and node.args
+        and _is_set_expr(node.args[0], ctx)
+    ):
+        findings.append(
+            _finding(
+                ctx, node, "REPRO-D104",
+                "str.join over a set materializes set order; sort first",
+            )
+        )
+    return findings
+
+
+def _check_module_rng(node: ast.AST, ctx: FileContext) -> List[Finding]:
+    """REPRO-D105: module-level rng instances shared across scenarios."""
+    if not ctx.at_module_level(node):
+        return []
+    value: Optional[ast.AST] = getattr(node, "value", None)
+    if not isinstance(value, ast.Call):
+        return []
+    chain = ctx.resolve(value.func)
+    if chain in ("random.Random", "random.SystemRandom", "numpy.random.default_rng"):
+        return [
+            _finding(
+                ctx, node, "REPRO-D105",
+                f"module-level {chain}(...) is one stream silently shared "
+                "by every scenario in the process; construct rngs inside "
+                "the session or pass them explicitly",
+            )
+        ]
+    return []
+
+
+def _finding(ctx: FileContext, node: ast.AST, rule: str, message: str) -> Finding:
+    """Build a finding at ``node``'s location."""
+    return Finding(
+        path=ctx.rel_path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        rule=rule,
+        message=message,
+    )

@@ -1,0 +1,64 @@
+"""Finding records shared by every lint rule family.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:meth:`~Finding.suppression_key` deliberately excludes the line and
+column, so a baseline entry keeps suppressing the same finding as the
+file drifts around it -- only fixing (or duplicating) the violation
+changes what the baseline matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: Repository-relative POSIX path of the offending file.
+    path: str
+    #: 1-based source line of the violation.
+    line: int
+    #: 0-based source column of the violation.
+    col: int
+    #: Rule identifier, e.g. ``REPRO-D101``.
+    rule: str
+    #: Human-readable description of the violation (no line numbers, so
+    #: baseline suppressions survive unrelated edits).
+    message: str
+
+    def suppression_key(self) -> str:
+        """Identity used by baseline suppression: rule, path and message."""
+        return f"{self.rule}\x1f{self.path}\x1f{self.message}"
+
+    def format(self) -> str:
+        """One-line ``path:line:col: RULE message`` rendering."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view of the finding."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output."""
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            col=int(data["col"]),  # type: ignore[arg-type]
+            rule=str(data["rule"]),
+            message=str(data["message"]),
+        )
+
+
+def sort_findings(findings: List[Finding]) -> List[Finding]:
+    """Deterministic report order: path, then line, then rule."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule, f.message))

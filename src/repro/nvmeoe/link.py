@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim import SimClock, US_PER_SECOND
 from repro.nvmeoe.frame import (

@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 CAPSULE_HEADER_BYTES = 64
 ENTRY_METADATA_BYTES = 40

@@ -8,7 +8,7 @@ event ordering is exact and reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 US_PER_MS = 1_000
 US_PER_SECOND = 1_000_000

@@ -15,14 +15,14 @@ ransomware defenses are built on:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
 from repro.sim import SimClock
 from repro.ssd.dram import WriteBuffer
 from repro.ssd.errors import OutOfRangeError
 from repro.ssd.flash import FlashArray, PageContent
-from repro.ssd.ftl import FTL, PassthroughRetention, RetentionPolicy, StalePage
+from repro.ssd.ftl import FTL, RetentionPolicy, StalePage
 from repro.ssd.gc import GarbageCollector, GCResult, GreedyGC
 from repro.ssd.geometry import SSDGeometry
 from repro.ssd.latency import LatencyModel

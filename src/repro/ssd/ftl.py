@@ -39,7 +39,7 @@ import numpy as np
 from repro.compat import DATACLASS_SLOTS
 from repro.sim import SimClock
 from repro.ssd.errors import CapacityExhaustedError, OutOfRangeError
-from repro.ssd.flash import FlashArray, FlashBlock, PageContent, PageState
+from repro.ssd.flash import FlashArray, FlashBlock, PageContent
 from repro.ssd.geometry import SSDGeometry
 from repro.ssd.kernel import NO_LPN, NO_PPN, PAGE_VALID, SimKernel
 

@@ -10,12 +10,12 @@ attack starves.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.ssd.errors import CapacityExhaustedError
-from repro.ssd.flash import FlashBlock, PageState
-from repro.ssd.ftl import FTL, StalePage
+from repro.ssd.flash import FlashBlock
+from repro.ssd.ftl import FTL
 from repro.ssd.kernel import PAGE_INVALID, PAGE_VALID
 
 

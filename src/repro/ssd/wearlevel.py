@@ -10,7 +10,6 @@ spread grows too large.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from repro.ssd.flash import FlashArray, PageState
 from repro.ssd.ftl import FTL

@@ -169,6 +169,7 @@ class FleetRunner:
         batched: bool = True,
         max_batch_pages: int = 64,
         honor_timestamps: bool = False,
+        timer: Optional[Callable[[], float]] = None,
     ) -> None:
         from repro._deprecation import warn_once
 
@@ -178,6 +179,7 @@ class FleetRunner:
             batched=batched,
             max_batch_pages=max_batch_pages,
             honor_timestamps=honor_timestamps,
+            timer=timer,
         )
 
     @classmethod
@@ -187,6 +189,7 @@ class FleetRunner:
         batched: bool = True,
         max_batch_pages: int = 64,
         honor_timestamps: bool = False,
+        timer: Optional[Callable[[], float]] = None,
     ) -> "FleetRunner":
         """Internal constructor for the facade path (no deprecation warning)."""
         runner = cls.__new__(cls)
@@ -195,6 +198,7 @@ class FleetRunner:
             batched=batched,
             max_batch_pages=max_batch_pages,
             honor_timestamps=honor_timestamps,
+            timer=timer,
         )
         return runner
 
@@ -204,6 +208,7 @@ class FleetRunner:
         batched: bool,
         max_batch_pages: int,
         honor_timestamps: bool,
+        timer: Optional[Callable[[], float]] = None,
     ) -> None:
         self.factories = factories if factories is not None else default_fleet_factories()
         if not self.factories:
@@ -211,6 +216,10 @@ class FleetRunner:
         self.batched = batched
         self.max_batch_pages = max_batch_pages
         self.honor_timestamps = honor_timestamps
+        # wall_seconds is throughput *reporting*, not simulation state, so
+        # the clock is injectable: tests pass a fake timer for deterministic
+        # reports, and nothing inside scenario execution reads it.
+        self.timer: Callable[[], float] = timer if timer is not None else time.perf_counter
 
     # -- single device ------------------------------------------------------
 
@@ -225,9 +234,9 @@ class FleetRunner:
             )
         else:
             replayer = TraceReplayer(device, honor_timestamps=self.honor_timestamps)
-        started = time.perf_counter()
+        started = self.timer()
         result = replayer.replay(records)
-        wall = time.perf_counter() - started
+        wall = self.timer() - started
         detect = getattr(target, "detect", None)
         metrics = device.metrics
         retained = getattr(device, "retained_pages_local", None)

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Iterable
 
 from repro.ssd.device import SSD
 from repro.ssd.flash import PageContent

@@ -1,0 +1,26 @@
+"""Fixture: pickle-unsafe pool submissions and hidden state (REPRO-C4xx)."""
+
+from repro.campaign.cache import map_with_cache
+from repro.campaign.runner import ExperimentRunner
+
+results_cache = {}  # REPRO-C402: module-level mutable in a sim layer
+seen = set()  # REPRO-C402
+
+
+def sweep(specs: list) -> list:
+    runner = ExperimentRunner(backend="process")
+    return runner.map(lambda spec: spec, specs)  # REPRO-C401: lambda
+
+
+def sweep_nested(specs: list) -> list:
+    def run_one(spec: object) -> object:  # local def: not picklable
+        return spec
+
+    runner = ExperimentRunner(backend="process")
+    return runner.map(run_one, specs)  # REPRO-C401: locally defined function
+
+
+def sweep_cached(runner: object, cache: object, specs: list) -> list:
+    return map_with_cache(
+        runner, lambda spec: spec, specs, cache=cache  # REPRO-C401: lambda
+    )

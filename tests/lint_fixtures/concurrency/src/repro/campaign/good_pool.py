@@ -1,0 +1,21 @@
+"""Fixture: pickle-safe submissions and frozen module state (no findings)."""
+
+from repro.campaign.runner import ExperimentRunner
+
+KNOWN_BACKENDS = ("sequential", "thread", "process")  # frozen: fine
+_SHARD_LIMIT = 64  # scalar: fine
+
+
+def run_one(spec: object) -> object:
+    """Module-level function: picklable under every backend."""
+    return spec
+
+
+def sweep(specs: list) -> list:
+    runner = ExperimentRunner(backend="process")
+    return runner.map(run_one, specs)  # module-level fn: fine
+
+
+def sweep_threaded(specs: list, concurrent: bool) -> list:
+    runner = ExperimentRunner(backend="thread" if concurrent else "sequential")
+    return runner.map(lambda spec: spec, specs)  # never the process backend: fine

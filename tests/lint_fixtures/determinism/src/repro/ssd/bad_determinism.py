@@ -1,0 +1,46 @@
+"""Fixture: every determinism rule violated in a sim layer (ssd)."""
+
+import datetime
+import os
+import random
+import time
+
+import numpy as np
+
+GLOBAL_RNG = random.Random(7)  # REPRO-D105: module-level rng instance
+
+
+def draw() -> float:
+    return random.random()  # REPRO-D101: global stream
+
+
+def reseed() -> None:
+    random.seed(42)  # REPRO-D101: global stream
+    np.random.seed(42)  # REPRO-D102: numpy global state
+
+
+def unseeded() -> random.Random:
+    return random.Random()  # REPRO-D101: OS entropy
+
+
+def now() -> float:
+    return time.time()  # REPRO-D103: wall clock
+
+
+def today() -> "datetime.datetime":
+    return datetime.datetime.now()  # REPRO-D103: wall clock
+
+
+def ordered(items: list) -> list:
+    return list(set(items))  # REPRO-D104: materializes set order
+
+
+def loop(items: set) -> list:
+    out = []
+    for item in set(items):  # REPRO-D104: iterating a set
+        out.append(item)
+    return out
+
+
+def listing(path: str) -> list:
+    return [name for name in os.listdir(path)]  # REPRO-D104: fs order

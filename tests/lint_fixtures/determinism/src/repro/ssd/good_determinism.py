@@ -1,0 +1,38 @@
+"""Fixture: the deterministic counterparts -- none of these may flag."""
+
+import os
+import random
+
+import numpy as np
+
+
+def draw(seed: int) -> float:
+    rng = random.Random(seed)  # seeded instance: fine
+    return rng.random()
+
+
+def generator(seed: int):
+    return np.random.default_rng(seed)  # seeded numpy generator: fine
+
+
+def ordered(items: set) -> list:
+    return sorted(items)  # defined order: fine
+
+
+def loop(items: set) -> list:
+    out = []
+    for item in sorted(set(items)):  # sorted before iteration: fine
+        out.append(item)
+    return out
+
+
+def membership(items: set, needle: object) -> bool:
+    return needle in items  # order-insensitive consumer: fine
+
+
+def count(items: set) -> int:
+    return len(items) + sum(1 for _ in items if _ is not None)
+
+
+def listing(path: str) -> list:
+    return sorted(os.listdir(path))  # sorted listing: fine

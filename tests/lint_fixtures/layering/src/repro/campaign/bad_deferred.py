@@ -1,0 +1,7 @@
+"""Fixture: campaign importing repro.api at module level (REPRO-L202)."""
+
+from repro.api.spec import ScenarioSpec  # REPRO-L202: deferred edge at module level
+
+
+def use() -> type:
+    return ScenarioSpec

@@ -1,0 +1,18 @@
+"""Fixture: the deferred api edge taken correctly (no findings)."""
+
+from typing import TYPE_CHECKING
+
+from repro.campaign.grid import CampaignGrid  # same layer: fine
+
+if TYPE_CHECKING:  # annotation-only: fine
+    from repro.api.spec import ScenarioSpec
+
+
+def build(defense: str, attack: str) -> "ScenarioSpec":
+    from repro.api.spec import ScenarioSpec  # function-level: fine
+
+    return ScenarioSpec(defense=defense, attack=attack)
+
+
+def grid() -> type:
+    return CampaignGrid

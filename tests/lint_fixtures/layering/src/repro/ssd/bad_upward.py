@@ -1,0 +1,7 @@
+"""Fixture: the ssd layer importing upward into campaign (REPRO-L201)."""
+
+from repro.campaign.grid import CampaignGrid  # REPRO-L201: upward edge
+
+
+def use() -> type:
+    return CampaignGrid

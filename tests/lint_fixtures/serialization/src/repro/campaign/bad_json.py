@@ -1,0 +1,12 @@
+"""Fixture: non-canonical artifact JSON in a sim layer (REPRO-S303)."""
+
+import json
+
+
+def dump(payload: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)  # REPRO-S303: no sort_keys
+
+
+def dumps(payload: dict) -> str:
+    return json.dumps(payload)  # REPRO-S303: no sort_keys

@@ -1,0 +1,12 @@
+"""Fixture: canonical artifact JSON (no findings)."""
+
+import json
+
+
+def dump(payload: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def dumps(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True)

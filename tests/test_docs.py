@@ -43,6 +43,7 @@ DOCUMENTED_PACKAGES = [
     "repro.api",
     "repro.attacks",
     "repro.campaign",
+    "repro.lint",
     "repro.nvmeoe",
     "repro.forensics",
 ]
