@@ -43,6 +43,13 @@ Quickstart::
 """
 
 from repro.analysis.reporting import format_table
+from repro.api.compound import (
+    COMPOUND_SPEC_VERSION,
+    BackgroundStream,
+    CompoundResult,
+    CompoundScenarioSpec,
+    run_compound,
+)
 from repro.api.environment import provision_environment
 from repro.api.events import (
     DetectionEvent,
@@ -80,6 +87,12 @@ __all__ = [
     "SPEC_VERSION",
     "ScenarioSpec",
     "SpecValidationError",
+    # -- compound multi-tenant scenarios --------------------------------------
+    "COMPOUND_SPEC_VERSION",
+    "CompoundScenarioSpec",
+    "BackgroundStream",
+    "CompoundResult",
+    "run_compound",
     # -- execution -----------------------------------------------------------
     "Session",
     "SessionResult",

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -61,6 +62,39 @@ class SpecValidationError(ValueError):
         #: The offending schema version, if the error is about the
         #: version; ``None`` for field errors.
         self.version = version
+
+
+def _require_int(name: str, value: object, *, minimum: int) -> None:
+    """Reject non-integer (including bool/NaN) or below-minimum values.
+
+    Raises :class:`SpecValidationError` naming the offending field, so
+    the scenario fuzzer (and every other caller) can rely on a single
+    structured rejection path for geometry knobs.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SpecValidationError(
+            f"{name} must be an integer, got {value!r}", field=name
+        )
+    if value < minimum:
+        raise SpecValidationError(
+            f"{name} must be at least {minimum}, got {value!r}", field=name
+        )
+
+
+def _require_finite(name: str, value: object) -> None:
+    """Reject non-numeric, NaN, and infinite values for float knobs.
+
+    NaN compares false against every bound, so plain range checks let it
+    through silently; finiteness must be checked explicitly.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SpecValidationError(
+            f"{name} must be a finite number, got {value!r}", field=name
+        )
+    if not math.isfinite(value):
+        raise SpecValidationError(
+            f"{name} must be finite, got {value!r}", field=name
+        )
 
 
 @dataclass(frozen=True)
@@ -104,14 +138,22 @@ class ScenarioSpec:
         from repro.ablation.registry import validate_features
 
         object.__setattr__(self, "ablation", validate_features(self.ablation))
-        if self.victim_files < 1:
-            raise ValueError("victim_files must be at least 1")
-        if self.file_size_bytes < 1:
-            raise ValueError("file_size_bytes must be at least 1")
+        _require_int("victim_files", self.victim_files, minimum=1)
+        _require_int("file_size_bytes", self.file_size_bytes, minimum=1)
+        _require_finite("user_activity_hours", self.user_activity_hours)
+        _require_finite("recent_edit_fraction", self.recent_edit_fraction)
         if self.user_activity_hours < 0:
-            raise ValueError("user_activity_hours must be non-negative")
+            raise SpecValidationError(
+                f"user_activity_hours must be non-negative, got "
+                f"{self.user_activity_hours!r}",
+                field="user_activity_hours",
+            )
         if not 0.0 <= self.recent_edit_fraction <= 1.0:
-            raise ValueError("recent_edit_fraction must be within [0, 1]")
+            raise SpecValidationError(
+                f"recent_edit_fraction must be within [0, 1], got "
+                f"{self.recent_edit_fraction!r}",
+                field="recent_edit_fraction",
+            )
 
     # -- identity ----------------------------------------------------------
 

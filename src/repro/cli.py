@@ -538,62 +538,59 @@ def _cmd_recover(args: argparse.Namespace) -> str:
     return "\n\n".join(sections)
 
 
-def _cmd_run(args: argparse.Namespace) -> str:
-    import json
+def _expand_spec_paths(values: List[str]) -> List[str]:
+    """Expand ``--spec`` operands: files stay, directories become their
+    sorted ``*.json`` members.
 
-    from repro.api import ScenarioSpec, Session
+    A directory with no ``*.json`` files exits 1 -- running nothing
+    while claiming success would hide a mistyped path.
+    """
+    paths: List[str] = []
+    for value in values:
+        candidate = Path(value)
+        if candidate.is_dir():
+            matches = sorted(candidate.glob("*.json"))
+            if not matches:
+                raise SystemExit(
+                    f"error: --spec directory {value} contains no *.json files"
+                )
+            paths.extend(str(match) for match in matches)
+        else:
+            paths.append(value)
+    return paths
+
+
+def _spec_with_overrides(spec, args: argparse.Namespace):
+    """Apply explicit flag overrides onto a loaded spec.
+
+    Anything that changes the scenario key or the master seed also
+    drops the stored per-stream seeds, so they re-derive from
+    ``(seed, scenario_key)`` -- otherwise the run would silently reuse
+    seeds resolved for a different scenario.
+    """
+    import dataclasses
+
+    overrides = {
+        name: value
+        for name, value in (
+            ("defense", args.defense),
+            ("attack", args.attack),
+            ("workload", args.workload),
+            ("device", args.device),
+            ("victim_files", args.victim_files),
+            ("seed", args.seed),
+        )
+        if value is not None and value != getattr(spec, name)
+    }
+    if overrides.keys() & {"defense", "attack", "workload", "device", "seed"}:
+        overrides.update(env_seed=None, workload_seed=None, attack_seed=None)
+    return dataclasses.replace(spec, **overrides) if overrides else spec
+
+
+def _render_session(spec, session, result) -> str:
+    """The ``repro run`` report block for one executed scenario."""
     from repro.sim import format_duration
 
-    if args.spec:
-        import dataclasses
-
-        spec = ScenarioSpec.load(args.spec)
-        # Explicit flags override the loaded spec.  Anything that changes
-        # the scenario key or the master seed also drops the stored
-        # per-stream seeds, so they re-derive from (seed, scenario_key)
-        # -- otherwise the run would silently reuse seeds resolved for a
-        # different scenario.
-        overrides = {
-            name: value
-            for name, value in (
-                ("defense", args.defense),
-                ("attack", args.attack),
-                ("workload", args.workload),
-                ("device", args.device),
-                ("victim_files", args.victim_files),
-                ("seed", args.seed),
-            )
-            if value is not None and value != getattr(spec, name)
-        }
-        if overrides.keys() & {"defense", "attack", "workload", "device", "seed"}:
-            overrides.update(env_seed=None, workload_seed=None, attack_seed=None)
-        if overrides:
-            spec = dataclasses.replace(spec, **overrides)
-    else:
-        spec = ScenarioSpec(
-            defense=args.defense or "RSSD",
-            attack=args.attack or "classic",
-            workload=args.workload or "office-edit",
-            device=args.device or "tiny",
-            **{
-                name: value
-                for name, value in (
-                    ("victim_files", args.victim_files),
-                    ("seed", args.seed),
-                )
-                if value is not None
-            },
-        )
-    if args.emit_spec:
-        spec.save(args.emit_spec)
-    if args.no_run:
-        sections = [f"validated spec for {spec.scenario_key} (hash {spec.spec_hash()[:16]})"]
-        if args.emit_spec:
-            sections.append(f"spec written to {args.emit_spec}")
-        return "; ".join(sections)
-
-    session = Session(spec)
-    result = session.run()
     outcome = result.attack_outcome
     lines = [
         f"Scenario: {spec.scenario_key} (spec hash {spec.spec_hash()[:16]})",
@@ -623,12 +620,220 @@ def _cmd_run(args: argparse.Namespace) -> str:
         f"{name}={count}" for name, count in sorted(session.bus.published_counts.items())
     )
     lines.append(f"events:    {counts}")
+    return "\n".join(lines)
+
+
+def _run_pack(args: argparse.Namespace) -> str:
+    """The ``repro run --pack`` path: replay a pack against its pins."""
+    import json
+
+    from repro.api.spec import SpecValidationError
+    from repro.scenarios import ScenarioPack, run_pack
+
+    try:
+        pack = ScenarioPack.load(args.pack)
+    except (SpecValidationError, ValueError, OSError) as exc:
+        raise SystemExit(f"error: cannot load pack {args.pack}: {exc}")
+    report = run_pack(pack)
+    header = f"Pack: {pack.name} ({len(pack.entries)} entries)"
+    if pack.description:
+        header += f" -- {pack.description}"
+    lines = [header]
+    for entry in report.entries:
+        status = "ok  " if entry.ok else "FAIL"
+        hash_head = str(entry.payload.get("spec_hash", ""))[:16]
+        suffix = f" (hash {hash_head})" if hash_head else ""
+        lines.append(f"  [{status}] {entry.name}{suffix}")
+        for failure in entry.failures:
+            lines.append(f"         {failure}")
+    passed = sum(1 for entry in report.entries if entry.ok)
+    lines.append(f"{passed}/{len(report.entries)} entries ok")
     sections = ["\n".join(lines)]
+    if args.output:
+        payloads = {entry.name: entry.payload for entry in report.entries}
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payloads, indent=2, sort_keys=True) + "\n")
+        sections.append(f"results written to {args.output}")
+    output = "\n\n".join(sections)
+    if not report.ok:
+        print(output)
+        raise SystemExit(1)
+    return output
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.api import ScenarioSpec, Session, SpecValidationError
+
+    if args.pack:
+        if args.spec:
+            raise SystemExit("error: --pack and --spec are mutually exclusive")
+        return _run_pack(args)
+
+    spec_paths = _expand_spec_paths(args.spec) if args.spec else []
+    if args.emit_spec and len(spec_paths) > 1:
+        raise SystemExit(
+            f"error: --emit-spec needs exactly one spec, got {len(spec_paths)}"
+        )
+
+    if len(spec_paths) > 1:
+        # Multi-spec mode: run every spec, report each, exit 1 if any
+        # fails (to load, to validate, or to execute).
+        sections = []
+        results = {}
+        failed = []
+        for path in spec_paths:
+            try:
+                spec = _spec_with_overrides(ScenarioSpec.load(path), args)
+                session = Session(spec)
+                result = session.run()
+            except (SpecValidationError, KeyError, ValueError, OSError) as exc:
+                failed.append(path)
+                sections.append(f"[FAIL] {path}: {exc}")
+                continue
+            results[path] = result.to_dict()
+            sections.append(f"[ok] {path}\n{_render_session(spec, session, result)}")
+        sections.append(
+            f"{len(spec_paths) - len(failed)}/{len(spec_paths)} specs ok"
+        )
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(results, indent=2, sort_keys=True) + "\n")
+            sections.append(f"results written to {args.output}")
+        output = "\n\n".join(sections)
+        if failed:
+            print(output)
+            raise SystemExit(1)
+        return output
+
+    if spec_paths:
+        spec = _spec_with_overrides(ScenarioSpec.load(spec_paths[0]), args)
+    else:
+        spec = ScenarioSpec(
+            defense=args.defense or "RSSD",
+            attack=args.attack or "classic",
+            workload=args.workload or "office-edit",
+            device=args.device or "tiny",
+            **{
+                name: value
+                for name, value in (
+                    ("victim_files", args.victim_files),
+                    ("seed", args.seed),
+                )
+                if value is not None
+            },
+        )
+    if args.emit_spec:
+        spec.save(args.emit_spec)
+    if args.no_run:
+        sections = [f"validated spec for {spec.scenario_key} (hash {spec.spec_hash()[:16]})"]
+        if args.emit_spec:
+            sections.append(f"spec written to {args.emit_spec}")
+        return "; ".join(sections)
+
+    session = Session(spec)
+    result = session.run()
+    sections = [_render_session(spec, session, result)]
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n")
         sections.append(f"result written to {args.output}")
     return "\n\n".join(sections)
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> str:
+    import os
+
+    from repro.scenarios import (
+        CoverageLedger,
+        FuzzConfig,
+        PackEntry,
+        ScenarioPack,
+        run_fuzz,
+    )
+
+    config = FuzzConfig.tiny() if args.space == "tiny" else FuzzConfig()
+    seed = args.seed if args.seed is not None else 7
+    ledger = None
+    if args.coverage_ledger and os.path.exists(args.coverage_ledger):
+        ledger = CoverageLedger.load(args.coverage_ledger)
+    backend = _resolve_backend(args)
+    cache, journal, resume, after_cell = _persistence_from_args(args)
+    artifact = run_fuzz(
+        seed,
+        args.budget,
+        config,
+        backend=backend,
+        jobs=args.jobs,
+        ledger=ledger,
+        toward_uncovered=args.toward_uncovered,
+        cache=cache,
+        journal=journal,
+        resume=resume,
+        after_cell=after_cell,
+    )
+
+    universe = config.universe()
+    merged = ledger if ledger is not None else CoverageLedger()
+    merged.merge(artifact.ledger)
+    sections = [
+        f"Fuzz: seed {seed}, budget {args.budget}, space {args.space}, "
+        f"backend {backend}, jobs {args.jobs or 'auto'}"
+        + (", toward-uncovered" if args.toward_uncovered else ""),
+        f"specs: {len(artifact.spec_hashes)} drawn, {len(artifact.cells)} "
+        f"distinct executed; rejected draws {artifact.stats['rejected']}, "
+        f"guided redraws {artifact.stats['guided_redraws']}",
+        format_table(
+            ["scenario", "region", "recovery", "defended", "detected", "status"],
+            [
+                [
+                    cell.scenario_key,
+                    cell.region,
+                    cell.recovery_fraction,
+                    cell.defended,
+                    cell.detected,
+                    cell.status,
+                ]
+                for cell in artifact.cells
+            ],
+        ),
+        f"coverage: this run {len(artifact.ledger.covered_regions)} regions; "
+        f"ledger {len(merged.uncovered(universe))} of {len(universe)} regions "
+        f"uncovered ({merged.coverage_fraction(universe):.0%} covered)",
+    ]
+    if args.coverage_ledger:
+        merged.save(args.coverage_ledger)
+        sections.append(f"coverage ledger written to {args.coverage_ledger}")
+    if args.emit_pack:
+        entries = tuple(
+            PackEntry(
+                name=f"fuzz-{seed}-{cell.spec_hash[:12]}",
+                spec=cell.spec,
+                expect={
+                    "recovery_fraction": cell.recovery_fraction,
+                    "defended": cell.defended,
+                    "detected": cell.detected,
+                    "oplog_hash": cell.oplog_hash,
+                    "status": cell.status,
+                },
+            )
+            for cell in artifact.cells
+        )
+        pack = ScenarioPack(
+            name=f"fuzz-seed{seed}",
+            description=(
+                f"Frozen fuzz session: seed {seed}, budget {args.budget}, "
+                f"space {args.space}"
+            ),
+            entries=entries,
+        )
+        pack.save(args.emit_pack)
+        sections.append(
+            f"pack with {len(entries)} pinned entries written to {args.emit_pack}"
+        )
+    _persistence_sections(sections, artifact, cache, resume)
+    return _save_and_check_baseline(sections, artifact, args)
 
 
 def _cmd_fleet(args: argparse.Namespace) -> str:
@@ -834,8 +1039,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
-        "--spec", default=None, metavar="SPEC_JSON",
-        help="scenario spec JSON (as written by --emit-spec or ScenarioSpec.save)",
+        "--spec", action="append", default=None, metavar="SPEC_JSON",
+        help="scenario spec JSON (as written by --emit-spec or "
+             "ScenarioSpec.save); repeatable, and a directory runs every "
+             "*.json inside it -- with several specs, exit 1 if any fails",
+    )
+    run.add_argument(
+        "--pack", default=None, metavar="PACK_JSON",
+        help="run every entry of a scenario pack (plain and compound "
+             "scenarios) against its pinned expectations; exit 1 on any "
+             "mismatch",
     )
     run.add_argument(
         "--defense", default=None,
@@ -863,6 +1076,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate (and with --emit-spec, write) the spec without executing it",
     )
     run.set_defaults(func=_cmd_run)
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        parents=[
+            parents["seed"], parents["parallel"], parents["output"],
+            parents["cache"],
+        ],
+        help="Coverage-guided scenario fuzzing over the spec space",
+        description=(
+            "Walk the registry-validated ScenarioSpec space with a "
+            "deterministic seeded fuzzer: every spec is reproducible from "
+            "(seed, index), executed cells ride the campaign result cache "
+            "and checkpoint journal, and a mergeable coverage ledger tracks "
+            "which scenario regions have ever run.  --toward-uncovered "
+            "steers new draws at regions the ledger has not seen, and "
+            "--emit-pack freezes the session into a runnable scenario pack."
+        ),
+    )
+    fuzz.add_argument(
+        "--budget", type=int, default=16,
+        help="walk length: how many spec indices to generate and run",
+    )
+    fuzz.add_argument(
+        "--space", choices=["tiny", "full"], default="tiny",
+        help="candidate pools (tiny = the CI smoke slice, full = every registry)",
+    )
+    fuzz.add_argument(
+        "--coverage-ledger", default=None, metavar="LEDGER_JSON",
+        help="persistent coverage ledger: loaded if present, merged with "
+             "this session's coverage, and written back",
+    )
+    fuzz.add_argument(
+        "--toward-uncovered", action="store_true",
+        help="redraw specs whose region the ledger already covers "
+             "(bounded, deterministic)",
+    )
+    fuzz.add_argument(
+        "--emit-pack", default=None, metavar="PACK_JSON",
+        help="freeze the executed cells into a scenario pack with pinned "
+             "expectations (runnable via repro run --pack)",
+    )
+    fuzz.add_argument(
+        "--baseline", default=None, metavar="ARTIFACT",
+        help="diff against a stored fuzz artifact; exit 1 on any difference",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     table1 = subparsers.add_parser("table1", help="Table 1: defense capability matrix")
     table1.add_argument("--defenses", nargs="*", default=None, help="subset of defense names")

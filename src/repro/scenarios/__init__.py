@@ -1,0 +1,80 @@
+"""Scenario generation: coverage-guided fuzzing, packs and ledgers.
+
+The scenario-generation subsystem turns the hand-written spec grids of
+the campaign layer into a searchable space.  It has three parts:
+
+* :mod:`repro.scenarios.fuzzer` -- a deterministic, seeded
+  :class:`SpecFuzzer` random-walking the registry-validated
+  :class:`~repro.api.spec.ScenarioSpec` space; every spec is
+  reproducible from ``(fuzz_seed, index)`` alone.
+* :mod:`repro.scenarios.coverage` -- the region lattice and the
+  versioned, mergeable :class:`CoverageLedger` recording which kinds of
+  scenario have ever executed; snapshots steer the fuzzer toward
+  unexplored regions.
+* :mod:`repro.scenarios.runner` / :mod:`repro.scenarios.packs` -- the
+  budgeted :func:`run_fuzz` session (riding the campaign cache and
+  checkpoint journal, resumable and backend bit-identical) and curated
+  :class:`ScenarioPack` files with pinned expectations, runnable via
+  ``repro run --pack``.
+
+Compound multi-tenant scenarios themselves live in
+:mod:`repro.api.compound`; this package consumes them as pack entries.
+"""
+
+from repro.scenarios.coverage import (
+    LEDGER_VERSION,
+    CoverageLedger,
+    ablation_bin,
+    attack_family,
+    region_of,
+    scale_bin,
+    workload_family,
+)
+from repro.scenarios.fuzzer import (
+    FUZZ_SALT,
+    MAX_DRAW_ATTEMPTS,
+    FuzzConfig,
+    FuzzStats,
+    SpecFuzzer,
+)
+from repro.scenarios.packs import (
+    PACK_VERSION,
+    PackEntry,
+    PackEntryReport,
+    PackReport,
+    ScenarioPack,
+    run_pack,
+)
+from repro.scenarios.runner import (
+    FUZZ_ARTIFACT_VERSION,
+    FuzzArtifact,
+    FuzzCellResult,
+    run_fuzz,
+    run_fuzz_cell,
+)
+
+__all__ = [
+    "LEDGER_VERSION",
+    "CoverageLedger",
+    "ablation_bin",
+    "attack_family",
+    "region_of",
+    "scale_bin",
+    "workload_family",
+    "FUZZ_SALT",
+    "MAX_DRAW_ATTEMPTS",
+    "FuzzConfig",
+    "FuzzStats",
+    "SpecFuzzer",
+    "PACK_VERSION",
+    "PackEntry",
+    "PackEntryReport",
+    "PackReport",
+    "ScenarioPack",
+    "run_pack",
+    "FUZZ_ARTIFACT_VERSION",
+    "FuzzArtifact",
+    "FuzzCellResult",
+    "run_fuzz",
+    "run_fuzz_cell",
+]

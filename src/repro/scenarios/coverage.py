@@ -1,0 +1,231 @@
+"""Coverage accounting over the scenario space.
+
+The fuzzer explores a combinatorially large :class:`~repro.api.spec.ScenarioSpec`
+space; nobody can track which exact specs ran, but everyone wants to
+know *which kinds* of scenario have been exercised.  This module bins
+every executed ``spec_hash`` into a **region lattice** -- the coarse
+product of defense x attack family x workload family x device x
+ablation state x victim-scale -- and persists the mapping as a
+versioned JSON **coverage ledger** that merges across runs.
+
+Regions are deliberately coarser than specs: two specs that differ only
+in seed or file size land in the same region, so coverage answers "has
+any RSSD / classic-family / trace-workload / tiny scenario ever run?"
+rather than "has this exact spec run?".  The ledger is a plain union of
+per-region spec-hash sets, which makes merging associative, commutative
+and idempotent -- two partial fuzz sessions merge to exactly the ledger
+one full session would have written (pinned by test).
+
+The fuzzer consumes a ledger snapshot to steer new draws toward
+uncovered regions (:meth:`~repro.scenarios.fuzzer.SpecFuzzer.generate`
+with ``toward_uncovered=True``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.api.spec import ScenarioSpec
+
+#: Bump when the ledger schema changes; readers refuse newer versions.
+LEDGER_VERSION = 1
+
+#: Separator between the region key's dimensions.
+REGION_SEPARATOR = "|"
+
+#: Evasion-strength suffixes collapsed into their base attack family.
+_STRENGTH_SUFFIXES: Tuple[str, ...] = ("-strong", "-sparse")
+
+
+def attack_family(attack: str) -> str:
+    """The coarse family of an attack registry name.
+
+    Evasion-strength variants (``-strong`` / ``-sparse``) collapse into
+    their base attack, and the classic destruction modes
+    (``classic-delete`` / ``classic-trim``) collapse into ``classic`` --
+    the region lattice tracks *families*, not every variant.
+    """
+    base = attack
+    for suffix in _STRENGTH_SUFFIXES:
+        if base.endswith(suffix):
+            base = base[: -len(suffix)]
+    if base.startswith("classic"):
+        return "classic"
+    return base
+
+
+def workload_family(workload: str) -> str:
+    """The coarse family of a workload registry name.
+
+    Every ``trace-<volume>`` replay workload maps to the single
+    ``trace`` family; the synthetic activities keep their own names.
+    """
+    if workload.startswith("trace-"):
+        return "trace"
+    return workload
+
+
+def scale_bin(victim_files: int) -> str:
+    """Bin the victim-file count into a coarse scale label."""
+    if victim_files <= 8:
+        return "files-small"
+    if victim_files <= 32:
+        return "files-medium"
+    return "files-large"
+
+
+def ablation_bin(ablation: Sequence[str]) -> str:
+    """Bin the ablation tuple: the full design vs any ablated variant."""
+    return "ablated" if ablation else "full"
+
+
+def region_of(spec: "ScenarioSpec") -> str:
+    """The region-lattice key one spec falls into.
+
+    The key is the ``|``-joined product of defense, attack family,
+    workload family, device, ablation state and victim-scale bin --
+    coarse enough that coverage is meaningful, fine enough that "we
+    never ran an ablated RSSD under a trace workload" is visible.
+    """
+    return REGION_SEPARATOR.join(
+        (
+            spec.defense,
+            attack_family(spec.attack),
+            workload_family(spec.workload),
+            spec.device,
+            ablation_bin(spec.ablation),
+            scale_bin(spec.victim_files),
+        )
+    )
+
+
+@dataclass
+class CoverageLedger:
+    """Executed spec hashes, grouped by scenario region.
+
+    ``regions`` maps each region key to the sorted, de-duplicated list
+    of ``spec_hash`` values executed in it.  All mutation goes through
+    :meth:`record_hash` / :meth:`merge`, which preserve that canonical
+    form, so serialization is execution-order independent and merging
+    is a plain set union (associative, commutative, idempotent).
+    """
+
+    regions: Dict[str, List[str]] = field(default_factory=dict)
+    version: int = LEDGER_VERSION
+
+    def __post_init__(self) -> None:
+        """Canonicalize: sorted unique hashes under every region key."""
+        self.regions = {
+            region: sorted(set(hashes)) for region, hashes in self.regions.items()
+        }
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, spec: "ScenarioSpec") -> str:
+        """Record one executed spec; returns the region it landed in."""
+        region = region_of(spec)
+        self.record_hash(region, spec.spec_hash())
+        return region
+
+    def record_hash(self, region: str, spec_hash: str) -> None:
+        """Record one executed ``spec_hash`` under ``region``."""
+        hashes = self.regions.setdefault(region, [])
+        if spec_hash not in hashes:
+            hashes.append(spec_hash)
+            hashes.sort()
+
+    def merge(self, other: "CoverageLedger") -> "CoverageLedger":
+        """Union ``other`` into this ledger in place; returns ``self``.
+
+        Merging is idempotent and order independent: any interleaving
+        of partial ledgers converges to the same canonical form as one
+        ledger that saw every execution directly.
+        """
+        for region, hashes in other.regions.items():
+            for spec_hash in hashes:
+                self.record_hash(region, spec_hash)
+        return self
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def covered_regions(self) -> List[str]:
+        """Region keys with at least one executed spec, sorted."""
+        return sorted(region for region, hashes in self.regions.items() if hashes)
+
+    @property
+    def total_specs(self) -> int:
+        """Distinct executed spec hashes across every region."""
+        seen = set()
+        for hashes in self.regions.values():
+            seen.update(hashes)
+        return len(seen)
+
+    def uncovered(self, universe: Iterable[str]) -> List[str]:
+        """Regions of ``universe`` with no executed spec, sorted."""
+        covered = set(self.covered_regions)
+        return sorted(set(universe) - covered)
+
+    def coverage_fraction(self, universe: Iterable[str]) -> float:
+        """Fraction of ``universe`` regions with at least one spec."""
+        regions = set(universe)
+        if not regions:
+            return 0.0
+        return len(regions & set(self.covered_regions)) / len(regions)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view: version plus the canonical region mapping."""
+        return {
+            "version": self.version,
+            "regions": {
+                region: list(hashes)
+                for region, hashes in sorted(self.regions.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CoverageLedger":
+        """Rebuild a ledger, refusing versions newer than this reader."""
+        version = int(data.get("version", -1))  # type: ignore[arg-type]
+        if version > LEDGER_VERSION:
+            raise ValueError(
+                f"coverage ledger version {version} is newer than supported "
+                f"version {LEDGER_VERSION}"
+            )
+        regions = data.get("regions", {})
+        if not isinstance(regions, dict):
+            raise ValueError(
+                f"coverage ledger 'regions' must be an object, got {regions!r}"
+            )
+        return cls(
+            regions={
+                str(region): [str(h) for h in hashes]
+                for region, hashes in regions.items()
+            },
+            version=version,
+        )
+
+    def to_json(self) -> str:
+        """Canonical serialization: stable key order, trailing newline."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "CoverageLedger":
+        """Parse a ledger from its canonical JSON text."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        """Write the canonical JSON serialization to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "CoverageLedger":
+        """Read a ledger previously written with :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

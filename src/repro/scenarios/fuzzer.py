@@ -1,0 +1,315 @@
+"""Deterministic, seeded fuzzer over the registry-validated spec space.
+
+A :class:`SpecFuzzer` random-walks the
+:class:`~repro.api.spec.ScenarioSpec` space described by a
+:class:`FuzzConfig` -- defense x attack x workload x device plus the
+geometry and ablation knobs.  Every generated spec is reproducible from
+``(fuzz_seed, index)`` alone: the per-index rng is seeded through the
+campaign's SHA-256 derivation
+(:func:`repro.campaign.seeding.derive_seed`), so spec ``index`` of seed
+``S`` is the same spec on every host, backend and Python version, and
+is independent of every other index.
+
+Invalid candidates are not special-cased away: the fuzzer constructs
+real :class:`~repro.api.spec.ScenarioSpec` objects and relies on the
+spec's own :class:`~repro.api.spec.SpecValidationError` / registry
+``KeyError`` rejection machinery, redrawing (deterministically, inside
+the same per-index rng) until a candidate validates.  This keeps the
+fuzzer honest: whatever the spec constructor accepts is by definition a
+runnable scenario.
+
+With a :class:`~repro.scenarios.coverage.CoverageLedger` snapshot the
+walk becomes coverage-guided: each index redraws a bounded number of
+times preferring regions the ledger has not seen, falling back to the
+last valid draw when the config's whole lattice is already covered.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.api.spec import ScenarioSpec, SpecValidationError
+from repro.campaign import registries
+from repro.campaign.seeding import derive_seed
+from repro.scenarios.coverage import ablation_bin, attack_family, region_of
+from repro.scenarios.coverage import scale_bin as _scale_bin
+from repro.scenarios.coverage import workload_family
+
+#: Salt for the per-index rng derivation (``derive_seed(seed, SALT, index)``).
+FUZZ_SALT = "scenario-fuzz"
+
+#: Bound on redraws per index -- both for invalid candidates and for
+#: coverage-guided redraws -- so generation always terminates.
+MAX_DRAW_ATTEMPTS = 64
+
+
+def _default_defenses() -> Tuple[str, ...]:
+    return tuple(sorted(registries.DEFENSES))
+
+
+def _default_attacks() -> Tuple[str, ...]:
+    return tuple(sorted(registries.ATTACKS))
+
+
+def _default_workloads() -> Tuple[str, ...]:
+    return tuple(sorted(registries.WORKLOADS))
+
+
+def _default_devices() -> Tuple[str, ...]:
+    return tuple(sorted(registries.DEVICE_CONFIGS))
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """The slice of the spec space a fuzz session walks.
+
+    Every dimension is a finite candidate pool; the defaults cover the
+    full registries.  Candidate pools are *allowed to contain invalid
+    values* (the fuzzer counts the rejections), but at least one valid
+    combination must exist or generation fails after
+    :data:`MAX_DRAW_ATTEMPTS` redraws.  Ablation draws only attach to
+    specs whose defense exposes the RSSD component toggles.
+    """
+
+    defenses: Tuple[str, ...] = field(default_factory=_default_defenses)
+    attacks: Tuple[str, ...] = field(default_factory=_default_attacks)
+    workloads: Tuple[str, ...] = field(default_factory=_default_workloads)
+    devices: Tuple[str, ...] = field(default_factory=_default_devices)
+    victim_files_choices: Tuple[int, ...] = (4, 8, 16, 24, 48)
+    file_size_choices: Tuple[int, ...] = (4096, 8192, 16384)
+    hours_choices: Tuple[float, ...] = (0.5, 1.0, 2.0, 8.0)
+    recent_edit_choices: Tuple[float, ...] = (0.1, 0.3, 0.5)
+    #: Most features one ablated draw disables (0 disables ablation draws).
+    ablation_max_features: int = 2
+    #: Probability an RSSD draw carries an ablation at all.
+    ablation_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        """Coerce dimension pools to tuples and reject empty ones."""
+        for name in (
+            "defenses", "attacks", "workloads", "devices",
+            "victim_files_choices", "file_size_choices",
+            "hours_choices", "recent_edit_choices",
+        ):
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+            if not getattr(self, name):
+                raise ValueError(f"FuzzConfig.{name} must not be empty")
+        if self.ablation_max_features < 0:
+            raise ValueError("ablation_max_features must be non-negative")
+        if not 0.0 <= self.ablation_fraction <= 1.0:
+            raise ValueError("ablation_fraction must be within [0, 1]")
+
+    @classmethod
+    def tiny(cls) -> "FuzzConfig":
+        """The CI smoke slice: cheap scenarios, every region kind reachable.
+
+        Three defenses, four attack families, the synthetic workloads
+        plus one trace volume, the tiny device only -- small enough
+        that a budgeted fuzz session finishes inside the smoke job,
+        rich enough to exercise ablation, trace and no-attack regions.
+        """
+        return cls(
+            defenses=("FlashGuard", "LocalSSD", "RSSD"),
+            attacks=("classic", "gc-attack", "none", "trimming-attack"),
+            workloads=("idle", "office-edit", "trace-hm"),
+            devices=("tiny",),
+            victim_files_choices=(4, 8),
+            file_size_choices=(4096, 8192),
+            hours_choices=(0.5, 1.0, 2.0),
+            recent_edit_choices=(0.1, 0.3),
+            ablation_max_features=1,
+            ablation_fraction=0.25,
+        )
+
+    def universe(self) -> List[str]:
+        """Every region key reachable from this config's pools, sorted.
+
+        The product of the config's defenses, attack families, workload
+        families, devices, reachable ablation bins and victim-scale
+        bins -- the denominator for coverage fractions and the search
+        target for ``toward_uncovered`` generation.  Invalid pool
+        entries (unknown registry names, out-of-range sizes) are
+        excluded: they can never produce an executed spec.
+        """
+        defenses = [d for d in self.defenses if d in registries.DEFENSES]
+        families = sorted(
+            {attack_family(a) for a in self.attacks if a in registries.ATTACKS}
+        )
+        workload_fams = sorted(
+            {workload_family(w) for w in self.workloads if w in registries.WORKLOADS}
+        )
+        devices = [d for d in self.devices if d in registries.DEVICE_CONFIGS]
+        ablation_bins = [ablation_bin(())]
+        if self.ablation_max_features > 0 and self.ablation_fraction > 0 and (
+            "RSSD" in defenses
+        ):
+            ablation_bins.append(ablation_bin(("x",)))
+        scale_bins = sorted(
+            {_scale_bin(n) for n in self.victim_files_choices
+             if isinstance(n, int) and not isinstance(n, bool) and n >= 1}
+        )
+        regions = []
+        for defense in defenses:
+            for family in families:
+                for workload_fam in workload_fams:
+                    for device in devices:
+                        for abl in ablation_bins:
+                            if abl == "ablated" and defense != "RSSD":
+                                continue
+                            for scale in scale_bins:
+                                regions.append(
+                                    "|".join(
+                                        (defense, family, workload_fam,
+                                         device, abl, scale)
+                                    )
+                                )
+        return sorted(regions)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view of every pool and knob (stable field order)."""
+        out: Dict[str, object] = {}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            out[spec_field.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FuzzConfig":
+        """Rebuild a config from its :meth:`to_dict` form."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown FuzzConfig fields: {unknown}")
+        payload = {
+            name: tuple(value) if isinstance(value, list) else value
+            for name, value in data.items()
+        }
+        return cls(**payload)  # type: ignore[arg-type]
+
+
+@dataclass
+class FuzzStats:
+    """Counting accountant for one generation pass (deterministic)."""
+
+    #: Specs returned to the caller.
+    generated: int = 0
+    #: Candidates rejected by spec validation (redrawn).
+    rejected: int = 0
+    #: Valid candidates redrawn because their region was already covered.
+    guided_redraws: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-ready view for artifacts and reports."""
+        return {
+            "generated": self.generated,
+            "rejected": self.rejected,
+            "guided_redraws": self.guided_redraws,
+        }
+
+
+class SpecFuzzer:
+    """A seeded random walk over a :class:`FuzzConfig`'s spec space.
+
+    ``spec_at(index)`` is a pure function of ``(seed, config, index)``
+    (plus the optional covered-region snapshot): the walk can be
+    evaluated sparsely, in any order, on any host, and always agrees.
+    ``stats`` accumulates rejection accounting across calls.
+    """
+
+    def __init__(self, seed: int, config: Optional[FuzzConfig] = None) -> None:
+        """Create a fuzzer walking ``config`` (default: full registries)."""
+        self.seed = seed
+        self.config = config if config is not None else FuzzConfig()
+        self.stats = FuzzStats()
+
+    # -- drawing -----------------------------------------------------------
+
+    def _draw(self, rng: random.Random) -> Dict[str, object]:
+        """One candidate field set (fixed draw order for determinism)."""
+        config = self.config
+        candidate: Dict[str, object] = {
+            "defense": rng.choice(config.defenses),
+            "attack": rng.choice(config.attacks),
+            "workload": rng.choice(config.workloads),
+            "device": rng.choice(config.devices),
+            "victim_files": rng.choice(config.victim_files_choices),
+            "file_size_bytes": rng.choice(config.file_size_choices),
+            "user_activity_hours": rng.choice(config.hours_choices),
+            "recent_edit_fraction": rng.choice(config.recent_edit_choices),
+            "seed": rng.randrange(1 << 31),
+        }
+        if (
+            candidate["defense"] == "RSSD"
+            and config.ablation_max_features > 0
+            and rng.random() < config.ablation_fraction
+        ):
+            from repro.ablation.registry import FEATURES
+
+            count = rng.randint(
+                1, min(config.ablation_max_features, len(FEATURES))
+            )
+            candidate["ablation"] = tuple(rng.sample(sorted(FEATURES), count))
+        return candidate
+
+    def spec_at(
+        self, index: int, covered: Optional[Set[str]] = None
+    ) -> ScenarioSpec:
+        """The spec at one walk index, reproducible from ``(seed, index)``.
+
+        Draws candidates from a ``random.Random`` seeded by
+        ``derive_seed(seed, FUZZ_SALT, index)`` until one validates;
+        with a ``covered`` region snapshot, keeps redrawing (within
+        :data:`MAX_DRAW_ATTEMPTS`) for an *uncovered* region, falling
+        back to the last valid draw.  Raises ``RuntimeError`` when the
+        config cannot produce a valid spec within the attempt bound.
+        """
+        rng = random.Random(derive_seed(self.seed, FUZZ_SALT, index))
+        fallback: Optional[ScenarioSpec] = None
+        for _ in range(MAX_DRAW_ATTEMPTS):
+            candidate = self._draw(rng)
+            try:
+                spec = ScenarioSpec(**candidate)  # type: ignore[arg-type]
+            except (SpecValidationError, KeyError, TypeError, ValueError):
+                self.stats.rejected += 1
+                continue
+            if covered is None or region_of(spec) not in covered:
+                self.stats.generated += 1
+                return spec
+            self.stats.guided_redraws += 1
+            fallback = spec
+        if fallback is None:
+            raise RuntimeError(
+                f"no valid ScenarioSpec within {MAX_DRAW_ATTEMPTS} draws at "
+                f"index {index}; every candidate in the FuzzConfig pools was "
+                "rejected by spec validation"
+            )
+        self.stats.generated += 1
+        return fallback
+
+    def generate(
+        self,
+        budget: int,
+        covered: Optional[Sequence[str]] = None,
+        toward_uncovered: bool = False,
+    ) -> List[ScenarioSpec]:
+        """The first ``budget`` specs of the walk, in index order.
+
+        With ``toward_uncovered=True`` the walk is steered by the
+        ``covered`` region snapshot *plus* the regions generated earlier
+        in this same call, so a single session spreads across the
+        lattice instead of revisiting its own regions.  Without it,
+        ``covered`` is ignored and the walk depends only on
+        ``(seed, index)``.
+        """
+        covered_set: Optional[Set[str]] = None
+        if toward_uncovered:
+            covered_set = set(covered or ())
+        specs: List[ScenarioSpec] = []
+        for index in range(budget):
+            spec = self.spec_at(index, covered=covered_set)
+            specs.append(spec)
+            if covered_set is not None:
+                covered_set.add(region_of(spec))
+        return specs

@@ -1,0 +1,267 @@
+"""Curated, versioned scenario packs: named suites with pinned expectations.
+
+A **pack** is a JSON file bundling named scenarios -- plain
+:class:`~repro.api.spec.ScenarioSpec` entries and compound
+:class:`~repro.api.compound.CompoundScenarioSpec` entries -- each with
+an ``expect`` mapping of result fields to pinned values.  Packs are the
+shareable unit of regression coverage: ``repro run --pack packs/foo.json``
+replays every entry and compares the executed results field-by-field
+against the pins, and ``repro fuzz --emit-pack`` freezes a fuzz
+session's discoveries into a new pack.
+
+Because every simulation value round-trips through JSON exactly
+(Python floats serialize losslessly), pinned expectations compare with
+plain equality -- no tolerances, no flakes.  The pack format is
+schema-versioned (:data:`PACK_VERSION`) with the same
+refuse-newer-versions discipline as every other artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.api.compound import CompoundScenarioSpec, run_compound
+from repro.api.spec import ScenarioSpec, SpecValidationError
+from repro.scenarios.runner import run_fuzz_cell
+
+#: Bump when the pack schema changes; readers refuse newer versions.
+PACK_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PackEntry:
+    """One named scenario of a pack, plus its pinned expectations.
+
+    Exactly one of ``spec`` (a plain scenario) and ``compound`` (a
+    compound scenario) is set; both are stored in their ``to_dict``
+    JSON form so the pack file is self-contained.  ``expect`` maps
+    result-payload field names to the exact values a run must produce.
+    """
+
+    name: str
+    spec: Optional[Dict[str, object]] = None
+    compound: Optional[Dict[str, object]] = None
+    expect: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SpecValidationError(
+                f"pack entry name must be a non-empty string, got {self.name!r}",
+                field="name",
+            )
+        if (self.spec is None) == (self.compound is None):
+            raise SpecValidationError(
+                f"pack entry {self.name!r} must set exactly one of 'spec' "
+                "and 'compound'",
+                field="spec",
+            )
+        # Validate eagerly so a broken pack fails at load, not mid-run.
+        self.scenario()
+
+    def scenario(self) -> object:
+        """The entry's parsed scenario object (plain or compound spec)."""
+        if self.spec is not None:
+            return ScenarioSpec.from_dict(self.spec)
+        assert self.compound is not None
+        return CompoundScenarioSpec.from_dict(self.compound)
+
+    def execute(self) -> Dict[str, object]:
+        """Run the entry's scenario; returns the result payload dict."""
+        scenario = self.scenario()
+        if isinstance(scenario, ScenarioSpec):
+            return run_fuzz_cell(scenario).to_dict()
+        assert isinstance(scenario, CompoundScenarioSpec)
+        return run_compound(scenario).to_dict()
+
+    def check(self, payload: Dict[str, object]) -> List[str]:
+        """Expectation failures of one executed payload (empty if ok)."""
+        failures = []
+        for key in sorted(self.expect):
+            if key not in payload:
+                failures.append(
+                    f"{self.name}: expected field {key!r} missing from result"
+                )
+            elif payload[key] != self.expect[key]:
+                failures.append(
+                    f"{self.name}: {key} expected {self.expect[key]!r}, "
+                    f"got {payload[key]!r}"
+                )
+        return failures
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view (unset scenario kind omitted)."""
+        out: Dict[str, object] = {"name": self.name}
+        if self.spec is not None:
+            out["spec"] = self.spec
+        if self.compound is not None:
+            out["compound"] = self.compound
+        out["expect"] = dict(self.expect)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PackEntry":
+        """Rebuild an entry, refusing unknown fields."""
+        known = {"name", "spec", "compound", "expect"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpecValidationError(
+                f"unknown pack entry fields: {unknown}", field=unknown[0]
+            )
+        return cls(
+            name=data.get("name", ""),  # type: ignore[arg-type]
+            spec=data.get("spec"),  # type: ignore[arg-type]
+            compound=data.get("compound"),  # type: ignore[arg-type]
+            expect=dict(data.get("expect", {})),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioPack:
+    """A named, versioned bundle of scenarios with pinned expectations."""
+
+    name: str
+    description: str = ""
+    entries: Tuple[PackEntry, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SpecValidationError(
+                f"pack name must be a non-empty string, got {self.name!r}",
+                field="name",
+            )
+        entries = tuple(self.entries)
+        object.__setattr__(self, "entries", entries)
+        names = [entry.name for entry in entries]
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise SpecValidationError(
+                f"pack {self.name!r} has duplicate entry names: {duplicates}",
+                field="name",
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view: version, identity, entries in pack order."""
+        return {
+            "version": PACK_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioPack":
+        """Rebuild a pack, refusing newer schema versions."""
+        raw_version = data.get("version", 1)
+        if not isinstance(raw_version, int) or isinstance(raw_version, bool):
+            raise SpecValidationError(
+                f"pack version must be an integer, got {raw_version!r}",
+                version=raw_version,
+            )
+        if raw_version > PACK_VERSION:
+            raise SpecValidationError(
+                f"pack version {raw_version} is newer than supported "
+                f"version {PACK_VERSION}",
+                version=raw_version,
+            )
+        unknown = sorted(set(data) - {"version", "name", "description", "entries"})
+        if unknown:
+            raise SpecValidationError(
+                f"unknown pack fields: {unknown}", field=unknown[0]
+            )
+        entries = data.get("entries", [])
+        if not isinstance(entries, (list, tuple)):
+            raise SpecValidationError(
+                f"pack field 'entries' must be a list, got {entries!r}",
+                field="entries",
+            )
+        return cls(
+            name=data.get("name", ""),  # type: ignore[arg-type]
+            description=data.get("description", ""),  # type: ignore[arg-type]
+            entries=tuple(PackEntry.from_dict(entry) for entry in entries),
+        )
+
+    def to_json(self) -> str:
+        """Canonical serialization: stable key order, trailing newline."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioPack":
+        """Parse a pack from its canonical JSON text."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        """Write the canonical JSON serialization to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "ScenarioPack":
+        """Read a pack previously written with :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+
+@dataclass
+class PackEntryReport:
+    """One pack entry's executed outcome against its pins."""
+
+    name: str
+    ok: bool
+    failures: List[str] = field(default_factory=list)
+    #: The executed result payload (plain-cell or compound ``to_dict``).
+    payload: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class PackReport:
+    """A full pack run: per-entry outcomes plus the overall verdict."""
+
+    pack: str
+    entries: List[PackEntryReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every entry matched its pinned expectations."""
+        return all(entry.ok for entry in self.entries)
+
+    @property
+    def failures(self) -> List[str]:
+        """Every expectation failure across the pack, in entry order."""
+        out: List[str] = []
+        for entry in self.entries:
+            out.extend(entry.failures)
+        return out
+
+
+def run_pack(pack: ScenarioPack) -> PackReport:
+    """Execute every entry of a pack and compare against its pins.
+
+    Entries run in pack order (each is an independent deterministic
+    scenario); an entry that raises is reported as a failure rather
+    than aborting the rest of the pack.
+    """
+    report = PackReport(pack=pack.name)
+    for entry in pack.entries:
+        try:
+            payload = entry.execute()
+        except Exception as error:  # noqa: BLE001 - reported, not swallowed
+            report.entries.append(
+                PackEntryReport(
+                    name=entry.name,
+                    ok=False,
+                    failures=[f"{entry.name}: execution failed: {error}"],
+                )
+            )
+            continue
+        failures = entry.check(payload)
+        report.entries.append(
+            PackEntryReport(
+                name=entry.name,
+                ok=not failures,
+                failures=failures,
+                payload=payload,
+            )
+        )
+    return report

@@ -1,0 +1,381 @@
+"""The fuzz-session runner and its versioned JSON artifact.
+
+A fuzz session is an ordinary sweep wearing a generated grid: the
+:class:`~repro.scenarios.fuzzer.SpecFuzzer` expands ``(fuzz_seed,
+budget)`` into a deterministic spec sequence, and every spec executes
+through the campaign :class:`~repro.campaign.runner.ExperimentRunner`
+with the full persistence layer riding along -- the content-addressed
+:class:`~repro.campaign.cache.ResultCache` serves repeated specs, the
+:class:`~repro.campaign.checkpoint.CheckpointJournal` makes interrupted
+sessions resumable, and the artifact is canonical JSON, bit-identical
+across the sequential, thread and process backends.
+
+The artifact's ``spec_hashes`` list is the determinism pin: it records
+the walk in index order (duplicates included), so two runs with the
+same ``(fuzz_seed, budget, config)`` can be compared byte-for-byte.
+Executed cells are stored once per distinct spec, sorted by hash, and
+the session's own :class:`~repro.scenarios.coverage.CoverageLedger` is
+embedded for merging into a persistent ledger.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.scenarios.coverage import CoverageLedger, region_of
+from repro.scenarios.fuzzer import FuzzConfig, SpecFuzzer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.api.spec import ScenarioSpec
+    from repro.campaign.cache import CacheStats, ResultCache
+    from repro.campaign.checkpoint import CheckpointJournal
+
+#: Bump when the fuzz artifact schema changes; readers refuse newer.
+FUZZ_ARTIFACT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FuzzCellResult:
+    """Scored outcome of one distinct fuzzed spec.
+
+    Deliberately index-free: the same spec drawn at two walk indices is
+    one cell (the artifact's ``spec_hashes`` list keeps the per-index
+    record), which is what lets the content-addressed cache serve
+    repeats without lying about where they came from.
+    """
+
+    #: SHA-256 of the spec's canonical JSON -- the cell's identity.
+    spec_hash: str
+    scenario_key: str
+    #: The coverage-lattice region the spec falls in.
+    region: str
+    #: The full generated spec (its ``to_dict`` form).
+    spec: Dict[str, object]
+    # -- recovery ---------------------------------------------------------
+    recovery_fraction: float
+    pages_recovered: int
+    defended: bool
+    # -- detection --------------------------------------------------------
+    detected: bool
+    detection_latency_us: Optional[int]
+    # -- I/O overhead -----------------------------------------------------
+    write_amplification: float
+    host_commands: int
+    # -- provenance -------------------------------------------------------
+    #: Hex head of the device's oplog hash chain; pins the exact command
+    #: stream, which is how backend determinism is asserted.
+    oplog_hash: Optional[str]
+    #: ``"ok"``, or ``"capacity-exhausted"`` when the drawn scenario's
+    #: sustained ingest ran the device out of flash mid-workload -- a
+    #: modeled outcome of retention-pinning defenses on small
+    #: geometries, recorded instead of aborting the walk.
+    status: str = "ok"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view of the cell (field names preserved verbatim)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FuzzCellResult":
+        """Rebuild a cell from its :meth:`to_dict` form."""
+        return cls(**data)  # type: ignore[arg-type]
+
+
+def _fuzz_cell_key(spec: "ScenarioSpec") -> str:
+    """The journal/cache key of one fuzz cell: the spec's own hash.
+
+    Scenario keys collide across fuzzed specs (two draws can share
+    defense/attack/workload/device but differ in geometry), so the
+    canonical spec hash is the only safe identity.
+    """
+    return spec.spec_hash()
+
+
+def run_fuzz_cell(spec: "ScenarioSpec") -> FuzzCellResult:
+    """Execute one fuzzed spec and reduce it to a picklable record.
+
+    Module-level (and taking only a picklable
+    :class:`~repro.api.spec.ScenarioSpec`) so the process backend can
+    ship it to workers.
+    """
+    from repro.api import Session
+    from repro.ssd.errors import CapacityExhaustedError
+
+    try:
+        result = Session(spec).run()
+    except CapacityExhaustedError:
+        # Deterministic, modeled behavior (retention pinning on a small
+        # geometry under sustained ingest), not an execution fault: the
+        # fuzzer's job is to record what the drawn scenario does.
+        return FuzzCellResult(
+            spec_hash=spec.spec_hash(),
+            scenario_key=spec.scenario_key,
+            region=region_of(spec),
+            spec=spec.to_dict(),
+            recovery_fraction=0.0,
+            pages_recovered=0,
+            defended=False,
+            detected=False,
+            detection_latency_us=None,
+            write_amplification=0.0,
+            host_commands=0,
+            oplog_hash=None,
+            status="capacity-exhausted",
+        )
+    return FuzzCellResult(
+        spec_hash=spec.spec_hash(),
+        scenario_key=spec.scenario_key,
+        region=region_of(spec),
+        spec=spec.to_dict(),
+        recovery_fraction=result.recovery_fraction,
+        pages_recovered=result.pages_recovered,
+        defended=result.defended,
+        detected=result.detected,
+        detection_latency_us=result.detection_latency_us,
+        write_amplification=result.write_amplification,
+        host_commands=result.host_commands,
+        oplog_hash=result.oplog_hash,
+        status="ok",
+    )
+
+
+@dataclass
+class FuzzArtifact:
+    """A completed fuzz session: the walk, its cells and its coverage."""
+
+    fuzz_seed: int
+    budget: int
+    toward_uncovered: bool
+    #: The :meth:`FuzzConfig.to_dict` form of the space walked.
+    config: Dict[str, object] = field(default_factory=dict)
+    #: Spec hashes in walk-index order, duplicates included -- the
+    #: determinism pin for the whole session.
+    spec_hashes: List[str] = field(default_factory=list)
+    #: The fuzzer's rejection accounting for this session.
+    stats: Dict[str, int] = field(default_factory=dict)
+    #: One result per distinct spec, sorted by spec hash.
+    cells: List[FuzzCellResult] = field(default_factory=list)
+    #: This session's coverage ledger (its ``to_dict`` form).
+    coverage: Dict[str, object] = field(default_factory=dict)
+    version: int = FUZZ_ARTIFACT_VERSION
+    #: Cache accounting for the run that built this artifact; in-memory
+    #: provenance only, excluded from serialization and comparison so
+    #: warm-cache runs stay bit-identical to cold ones.
+    cache_stats: Optional["CacheStats"] = field(
+        default=None, compare=False, repr=False
+    )
+    #: Cells served from a resumed checkpoint journal (provenance only,
+    #: excluded from serialization and comparison like ``cache_stats``).
+    cells_resumed: int = field(default=0, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        """Sort cells by hash so serialization is execution-order independent."""
+        self.cells = sorted(self.cells, key=lambda cell: cell.spec_hash)
+
+    def cell(self, spec_hash: str) -> FuzzCellResult:
+        """The result for one spec hash (raises ``KeyError`` if absent)."""
+        for result in self.cells:
+            if result.spec_hash == spec_hash:
+                return result
+        raise KeyError(f"no cell with spec hash {spec_hash!r} in this artifact")
+
+    @property
+    def ledger(self) -> CoverageLedger:
+        """This session's coverage as a live :class:`CoverageLedger`."""
+        return CoverageLedger.from_dict(self.coverage)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view: version, walk parameters, cells, coverage."""
+        return {
+            "version": self.version,
+            "fuzz_seed": self.fuzz_seed,
+            "budget": self.budget,
+            "toward_uncovered": self.toward_uncovered,
+            "config": self.config,
+            "spec_hashes": list(self.spec_hashes),
+            "stats": dict(self.stats),
+            "cells": [result.to_dict() for result in self.cells],
+            "coverage": self.coverage,
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization: stable key order, trailing newline."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FuzzArtifact":
+        """Rebuild an artifact, refusing versions newer than this reader."""
+        version = int(data.get("version", -1))  # type: ignore[arg-type]
+        if version > FUZZ_ARTIFACT_VERSION:
+            raise ValueError(
+                f"fuzz artifact version {version} is newer than supported "
+                f"version {FUZZ_ARTIFACT_VERSION}"
+            )
+        return cls(
+            fuzz_seed=int(data.get("fuzz_seed", 0)),  # type: ignore[arg-type]
+            budget=int(data.get("budget", 0)),  # type: ignore[arg-type]
+            toward_uncovered=bool(data.get("toward_uncovered", False)),
+            config=dict(data.get("config", {})),  # type: ignore[arg-type]
+            spec_hashes=list(data.get("spec_hashes", [])),  # type: ignore[arg-type]
+            stats=dict(data.get("stats", {})),  # type: ignore[arg-type]
+            cells=[
+                FuzzCellResult.from_dict(cell)  # type: ignore[arg-type]
+                for cell in data.get("cells", [])  # type: ignore[union-attr]
+            ],
+            coverage=dict(data.get("coverage", {})),  # type: ignore[arg-type]
+            version=version,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FuzzArtifact":
+        """Parse an artifact from its canonical JSON text."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        """Write the canonical JSON serialization to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "FuzzArtifact":
+        """Read an artifact previously written with :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def diff(self, baseline: "FuzzArtifact") -> List[str]:
+        """Human-readable differences against ``baseline`` (empty if equal)."""
+        differences: List[str] = []
+        if self.spec_hashes != baseline.spec_hashes:
+            differences.append(
+                f"spec_hashes diverge: {len(baseline.spec_hashes)} baseline vs "
+                f"{len(self.spec_hashes)} here"
+            )
+        ours = {cell.spec_hash: cell for cell in self.cells}
+        theirs = {cell.spec_hash: cell for cell in baseline.cells}
+        for key in sorted(set(theirs) - set(ours)):
+            differences.append(f"missing cell: {key}")
+        for key in sorted(set(ours) - set(theirs)):
+            differences.append(f"extra cell: {key}")
+        for key in sorted(set(ours) & set(theirs)):
+            mine, other = ours[key].to_dict(), theirs[key].to_dict()
+            for fname in sorted(mine):
+                if mine[fname] != other[fname]:
+                    differences.append(
+                        f"{key}: {fname} {other[fname]!r} -> {mine[fname]!r}"
+                    )
+        if self.coverage != baseline.coverage:
+            differences.append("coverage ledgers differ")
+        return differences
+
+
+def run_fuzz(
+    seed: int,
+    budget: int,
+    config: Optional[FuzzConfig] = None,
+    *,
+    backend: str = "sequential",
+    jobs: int = 0,
+    ledger: Optional[CoverageLedger] = None,
+    toward_uncovered: bool = False,
+    cache: Optional["ResultCache"] = None,
+    journal: Optional["CheckpointJournal"] = None,
+    resume: bool = False,
+    after_cell: Optional[Callable] = None,
+) -> FuzzArtifact:
+    """Run one budgeted fuzz session and collect its artifact.
+
+    The spec sequence is generated up front, sequentially, before any
+    backend is involved -- the walk depends only on ``(seed, config,
+    budget)`` plus (under ``toward_uncovered``) the covered-region
+    snapshot of ``ledger``, never on execution order.  Distinct specs
+    then execute through :func:`~repro.campaign.cache.map_with_cache`
+    exactly like campaign cells: cache hits are served, journalled
+    cells survive crashes, and ``resume=True`` re-runs only what the
+    journal is missing.  The returned artifact embeds this session's
+    own coverage; the caller merges it into a persistent ledger
+    (:meth:`CoverageLedger.merge`) -- ``ledger`` is read, not written.
+    """
+    from repro.campaign.cache import map_with_cache
+    from repro.campaign.checkpoint import build_header, verify_header
+    from repro.campaign.runner import ExperimentRunner
+
+    if budget < 0:
+        raise ValueError(f"fuzz budget must be non-negative, got {budget}")
+    fuzz_config = config if config is not None else FuzzConfig()
+    fuzzer = SpecFuzzer(seed, fuzz_config)
+    covered = ledger.covered_regions if ledger is not None else []
+    specs = fuzzer.generate(
+        budget, covered=covered, toward_uncovered=toward_uncovered
+    )
+    spec_hashes = [spec.spec_hash() for spec in specs]
+    unique_specs: List["ScenarioSpec"] = []
+    seen = set()
+    for spec, spec_hash in zip(specs, spec_hashes):
+        if spec_hash not in seen:
+            seen.add(spec_hash)
+            unique_specs.append(spec)
+
+    runner = ExperimentRunner(backend=backend, jobs=jobs)
+    completed = None
+    if journal is not None:
+        header = build_header(
+            "fuzz",
+            FUZZ_ARTIFACT_VERSION,
+            seed,
+            {
+                "budget": budget,
+                "config": fuzz_config.to_dict(),
+                "toward_uncovered": toward_uncovered,
+                "covered_snapshot": sorted(covered),
+            },
+            fingerprint=cache.fingerprint if cache is not None else None,
+        )
+        if resume:
+            found, completed = journal.load()
+            verify_header(found, header)
+            journal.resume()
+        else:
+            journal.start(header)
+    elif resume:
+        raise ValueError("resume=True needs a checkpoint journal")
+    try:
+        cells = map_with_cache(
+            runner,
+            run_fuzz_cell,
+            unique_specs,
+            kind="fuzz-cell",
+            artifact_version=FUZZ_ARTIFACT_VERSION,
+            key_fn=_fuzz_cell_key,
+            hash_fn=lambda spec: spec.spec_hash(),
+            encode=lambda result: result.to_dict(),
+            decode=FuzzCellResult.from_dict,
+            cache=cache,
+            journal=journal,
+            completed=completed,
+            after_cell=after_cell,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+
+    session_ledger = CoverageLedger()
+    for cell in cells:
+        session_ledger.record_hash(cell.region, cell.spec_hash)
+    artifact = FuzzArtifact(
+        fuzz_seed=seed,
+        budget=budget,
+        toward_uncovered=toward_uncovered,
+        config=fuzz_config.to_dict(),
+        spec_hashes=spec_hashes,
+        stats=fuzzer.stats.to_dict(),
+        cells=list(cells),
+        coverage=session_ledger.to_dict(),
+    )
+    artifact.cache_stats = cache.stats if cache is not None else None
+    if completed:
+        artifact.cells_resumed = sum(
+            1 for spec in unique_specs if _fuzz_cell_key(spec) in completed
+        )
+    return artifact

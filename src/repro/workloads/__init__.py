@@ -20,8 +20,8 @@ reproduce per volume.
   devices (RSSD + baselines) and compare them.
 """
 
-from repro.workloads.fio import FioJob, standard_jobs
-from repro.workloads.fiu import FIU_VOLUMES, fiu_profile
+from repro.workloads.fio import FioJob, load_fio_iolog, standard_jobs
+from repro.workloads.fiu import FIU_VOLUMES, fiu_profile, load_fiu_trace
 from repro.workloads.fleet import (
     FleetDeviceReport,
     FleetReport,
@@ -29,8 +29,13 @@ from repro.workloads.fleet import (
     default_fleet_factories,
     shard_trace,
 )
-from repro.workloads.msr import MSR_VOLUMES, msr_profile
-from repro.workloads.records import TraceRecord, TraceStats, collect_stats
+from repro.workloads.msr import MSR_VOLUMES, load_msr_trace, msr_profile
+from repro.workloads.records import (
+    TraceParseError,
+    TraceRecord,
+    TraceStats,
+    collect_stats,
+)
 from repro.workloads.replay import BatchTraceReplayer, ReplayResult, TraceReplayer
 from repro.workloads.synthetic import (
     BurstyWorkload,
@@ -54,6 +59,7 @@ __all__ = [
     "MixedWorkload",
     "ReplayResult",
     "SequentialWorkload",
+    "TraceParseError",
     "TraceRecord",
     "TraceReplayer",
     "TraceStats",
@@ -63,6 +69,9 @@ __all__ = [
     "collect_stats",
     "default_fleet_factories",
     "fiu_profile",
+    "load_fio_iolog",
+    "load_fiu_trace",
+    "load_msr_trace",
     "msr_profile",
     "profile_workload",
     "shard_trace",

@@ -9,6 +9,20 @@ from typing import Iterable, List
 from repro.compat import DATACLASS_SLOTS
 
 
+class TraceParseError(ValueError):
+    """A trace file line that could not be parsed.
+
+    Carries the file path and 1-based line number so loader errors
+    point at the offending line, not just the offending file.
+    """
+
+    def __init__(self, message: str, *, path: str = "", line_no: int = 0) -> None:
+        location = f"{path}:{line_no}: " if path else ""
+        super().__init__(f"{location}{message}")
+        self.path = path
+        self.line_no = line_no
+
+
 class TraceOp(enum.Enum):
     """Operation types that appear in block traces."""
 

@@ -1,0 +1,153 @@
+"""CompoundScenarioSpec: validation, hashing, and noisy execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    COMPOUND_SPEC_VERSION,
+    BackgroundStream,
+    CompoundResult,
+    CompoundScenarioSpec,
+    ScenarioSpec,
+    SpecValidationError,
+    run_compound,
+)
+from repro.campaign.seeding import derive_seed
+
+
+def tiny_compound(**overrides) -> CompoundScenarioSpec:
+    params = dict(
+        foreground=ScenarioSpec(
+            defense="RSSD",
+            attack="classic",
+            workload="office-edit",
+            device="tiny",
+            victim_files=4,
+            user_activity_hours=0.5,
+            seed=11,
+        ),
+        background=(BackgroundStream(workload="trace-hm", hours=0.5),),
+        attack_offset=0.5,
+    )
+    params.update(overrides)
+    return CompoundScenarioSpec(**params)
+
+
+class TestValidation:
+    def test_background_must_be_trace_workloads(self):
+        with pytest.raises(SpecValidationError) as excinfo:
+            BackgroundStream(workload="office-edit")
+        assert excinfo.value.field == "workload"
+
+    @pytest.mark.parametrize("hours", [0, -1.0, float("nan"), float("inf"), True])
+    def test_bad_stream_hours_fail_fast(self, hours):
+        with pytest.raises(SpecValidationError) as excinfo:
+            BackgroundStream(hours=hours)
+        assert excinfo.value.field == "hours"
+
+    @pytest.mark.parametrize("offset", [0.0, -0.5, 1.5, float("nan"), True])
+    def test_bad_attack_offset_fails_fast(self, offset):
+        with pytest.raises(SpecValidationError) as excinfo:
+            tiny_compound(attack_offset=offset)
+        assert excinfo.value.field == "attack_offset"
+
+    def test_foreground_must_be_a_spec(self):
+        with pytest.raises(SpecValidationError) as excinfo:
+            tiny_compound(foreground={"defense": "RSSD"})
+        assert excinfo.value.field == "foreground"
+
+    def test_background_entries_must_be_streams(self):
+        with pytest.raises(SpecValidationError) as excinfo:
+            tiny_compound(background=({"workload": "trace-hm"},))
+        assert excinfo.value.field == "background"
+
+
+class TestIdentity:
+    #: Pinned hash of the reference compound spec.  If this changes,
+    #: every shipped compound spec identity changes with it -- bump
+    #: COMPOUND_SPEC_VERSION and say why in the changelog.
+    REFERENCE_HASH = (
+        "5d01148deac6bae234af50a1dbc5ab5bfc4d9c3fcf09bc07a52e201e7f986191"
+    )
+
+    def test_hash_is_pinned(self):
+        assert tiny_compound().spec_hash() == self.REFERENCE_HASH
+
+    def test_compound_key_names_the_noise_shape(self):
+        assert tiny_compound().compound_key == (
+            "RSSD/classic/office-edit/tiny+bg1@0.5"
+        )
+
+    def test_foreground_identity_is_untouched(self):
+        """Embedding a spec in a compound never changes the plain hash."""
+        plain = ScenarioSpec(seed=11)
+        embedded = tiny_compound(foreground=plain).foreground
+        assert embedded.spec_hash() == plain.spec_hash()
+        assert embedded.to_json() == plain.to_json()
+
+    def test_background_seeds_derive_the_sha256_way(self):
+        spec = tiny_compound()
+        assert spec.background_seed(0) == derive_seed(
+            spec.foreground.seed, "compound-background", 0, "trace-hm"
+        )
+
+
+class TestSerialization:
+    def test_round_trip_is_bit_identical(self, tmp_path):
+        spec = tiny_compound(
+            background=(
+                BackgroundStream(workload="trace-hm", hours=0.5),
+                BackgroundStream(workload="trace-prn", hours=1.0),
+            ),
+            attack_offset=0.75,
+        )
+        path = tmp_path / "compound.json"
+        spec.save(str(path))
+        rebuilt = CompoundScenarioSpec.load(str(path))
+        assert rebuilt.to_json() == spec.to_json()
+        assert rebuilt.spec_hash() == spec.spec_hash()
+
+    def test_newer_versions_are_refused(self):
+        payload = tiny_compound().to_dict()
+        payload["version"] = COMPOUND_SPEC_VERSION + 1
+        with pytest.raises(SpecValidationError, match="newer"):
+            CompoundScenarioSpec.from_dict(payload)
+
+    def test_unknown_fields_are_refused(self):
+        payload = tiny_compound().to_dict()
+        payload["gpu_count"] = 8
+        with pytest.raises(SpecValidationError, match="unknown"):
+            CompoundScenarioSpec.from_dict(payload)
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_compound(tiny_compound())
+
+    def test_run_is_deterministic(self, result):
+        again = run_compound(tiny_compound())
+        assert again.to_dict() == result.to_dict()
+
+    def test_noise_straddles_the_attack(self, result):
+        assert result.background_records_pre > 0
+        assert result.background_records_post > 0
+
+    def test_detection_survives_post_attack_noise(self, result):
+        """The staged attack is still visible after the noise tail."""
+        assert result.detected
+        assert result.post_noise_detected
+        assert result.post_noise_chain_trustworthy
+
+    def test_result_round_trips(self, result):
+        rebuilt = CompoundResult.from_dict(result.to_dict())
+        assert rebuilt.to_dict() == result.to_dict()
+        assert rebuilt.spec_hash == tiny_compound().spec_hash()
+
+    def test_attack_offset_moves_the_noise_split(self, result):
+        early = run_compound(tiny_compound(attack_offset=0.25))
+        total = result.background_records_pre + result.background_records_post
+        early_total = early.background_records_pre + early.background_records_post
+        assert early_total == total
+        assert early.background_records_pre < result.background_records_pre

@@ -46,6 +46,35 @@ class TestValidation:
         with pytest.raises(ValueError):
             ScenarioSpec(**{field: value})
 
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("victim_files", float("nan")),
+            ("victim_files", 2.5),
+            ("victim_files", True),
+            ("victim_files", "8"),
+            ("file_size_bytes", float("nan")),
+            ("file_size_bytes", -4096),
+            ("file_size_bytes", True),
+            ("user_activity_hours", float("nan")),
+            ("user_activity_hours", float("inf")),
+            ("user_activity_hours", "2.0"),
+            ("user_activity_hours", True),
+            ("recent_edit_fraction", float("nan")),
+            ("recent_edit_fraction", float("-inf")),
+            ("recent_edit_fraction", None),
+        ],
+    )
+    def test_non_finite_and_wrong_type_numbers_fail_fast(self, field, value):
+        """NaN slipped through plain comparisons; the structured check
+        rejects non-finite, non-numeric and bool values at construction."""
+        from repro.api import SpecValidationError
+
+        with pytest.raises(SpecValidationError) as excinfo:
+            ScenarioSpec(**{field: value})
+        assert excinfo.value.field == field
+        assert field in str(excinfo.value)
+
 
 class TestSeeds:
     def test_seeds_derive_the_campaign_sha256_way(self):

@@ -46,6 +46,7 @@ DOCUMENTED_PACKAGES = [
     "repro.lint",
     "repro.nvmeoe",
     "repro.forensics",
+    "repro.scenarios",
 ]
 
 

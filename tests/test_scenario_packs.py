@@ -1,0 +1,260 @@
+"""Scenario packs: serialization, golden replay, CLI integration."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import BackgroundStream, CompoundScenarioSpec, ScenarioSpec
+from repro.api.spec import SpecValidationError
+from repro.cli import main
+from repro.scenarios import PACK_VERSION, PackEntry, ScenarioPack, run_pack
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_PACK = GOLDEN_DIR / "pack_tiny.json"
+
+#: Result fields every golden entry pins (compound entries add more).
+EXPECT_KEYS = ("recovery_fraction", "defended", "detected", "oplog_hash")
+
+
+def golden_scenarios():
+    """The scenarios frozen into tests/golden/pack_tiny.json."""
+    small = dict(victim_files=4, user_activity_hours=0.5, seed=11)
+    return [
+        ("rssd-under-classic", ScenarioSpec(defense="RSSD", attack="classic", **small)),
+        (
+            "localssd-under-trim",
+            ScenarioSpec(defense="LocalSSD", attack="trimming-attack", **small),
+        ),
+        (
+            "rssd-under-noise",
+            CompoundScenarioSpec(
+                foreground=ScenarioSpec(defense="RSSD", attack="classic", **small),
+                background=(BackgroundStream(workload="trace-hm", hours=0.5),),
+                attack_offset=0.5,
+            ),
+        ),
+    ]
+
+
+def build_golden_pack() -> ScenarioPack:
+    """Execute the golden scenarios and freeze their results as pins."""
+    entries = []
+    for name, scenario in golden_scenarios():
+        if isinstance(scenario, ScenarioSpec):
+            entry = PackEntry(name=name, spec=scenario.to_dict())
+        else:
+            entry = PackEntry(name=name, compound=scenario.to_dict())
+        payload = entry.execute()
+        expect = {key: payload[key] for key in EXPECT_KEYS}
+        if not isinstance(scenario, ScenarioSpec):
+            expect["post_noise_detected"] = payload["post_noise_detected"]
+        entries.append(
+            PackEntry(
+                name=entry.name,
+                spec=entry.spec,
+                compound=entry.compound,
+                expect=expect,
+            )
+        )
+    return ScenarioPack(
+        name="tiny",
+        description=(
+            "Golden regression pack: two plain scenarios and one compound "
+            "multi-tenant scenario with pinned results."
+        ),
+        entries=tuple(entries),
+    )
+
+
+class TestSerialization:
+    def sample_pack(self) -> ScenarioPack:
+        return ScenarioPack(
+            name="sample",
+            entries=(
+                PackEntry(
+                    name="one",
+                    spec=ScenarioSpec(seed=1).to_dict(),
+                    expect={"defended": True},
+                ),
+            ),
+        )
+
+    def test_round_trip_is_bit_identical(self, tmp_path):
+        pack = self.sample_pack()
+        path = tmp_path / "pack.json"
+        pack.save(str(path))
+        assert ScenarioPack.load(str(path)).to_json() == pack.to_json()
+
+    def test_newer_versions_are_refused(self):
+        payload = self.sample_pack().to_dict()
+        payload["version"] = PACK_VERSION + 1
+        with pytest.raises(SpecValidationError, match="newer"):
+            ScenarioPack.from_dict(payload)
+
+    def test_unknown_fields_are_refused(self):
+        payload = self.sample_pack().to_dict()
+        payload["gpu_count"] = 8
+        with pytest.raises(SpecValidationError, match="unknown"):
+            ScenarioPack.from_dict(payload)
+
+    def test_duplicate_entry_names_are_refused(self):
+        entry = self.sample_pack().entries[0]
+        with pytest.raises(SpecValidationError, match="duplicate"):
+            ScenarioPack(name="dup", entries=(entry, entry))
+
+    def test_entry_must_pick_exactly_one_scenario_kind(self):
+        with pytest.raises(SpecValidationError, match="exactly one"):
+            PackEntry(name="neither")
+        with pytest.raises(SpecValidationError, match="exactly one"):
+            PackEntry(
+                name="both",
+                spec=ScenarioSpec().to_dict(),
+                compound=CompoundScenarioSpec().to_dict(),
+            )
+
+    def test_broken_scenario_fails_at_load_not_mid_run(self):
+        with pytest.raises(KeyError):
+            PackEntry(name="bad", spec={"defense": "NotADefense"})
+
+
+class TestGoldenPack:
+    def test_golden_pack_reproduces_pinned_results(self, update_golden):
+        if update_golden:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            build_golden_pack().save(str(GOLDEN_PACK))
+            pytest.skip(f"golden pack rewritten: {GOLDEN_PACK}")
+        assert GOLDEN_PACK.exists(), (
+            "golden pack missing; run pytest tests/test_scenario_packs.py "
+            "--update-golden to create it"
+        )
+        pack = ScenarioPack.load(str(GOLDEN_PACK))
+        report = run_pack(pack)
+        assert report.ok, "\n".join(report.failures)
+        assert [e.name for e in report.entries] == [
+            name for name, _ in golden_scenarios()
+        ]
+
+    def test_golden_pack_definition_matches_the_file(self):
+        """The scenarios (not the pins) in the file track this module."""
+        pack = ScenarioPack.load(str(GOLDEN_PACK))
+        stored = {}
+        for entry in pack.entries:
+            stored[entry.name] = entry.scenario().spec_hash()
+        expected = {
+            name: scenario.spec_hash() for name, scenario in golden_scenarios()
+        }
+        assert stored == expected, (
+            "golden pack scenarios diverged from golden_scenarios(); "
+            "run --update-golden after changing them"
+        )
+
+    def test_tampered_expectation_is_reported(self):
+        pack = ScenarioPack.load(str(GOLDEN_PACK))
+        entry = pack.entries[0]
+        tampered = PackEntry(
+            name=entry.name,
+            spec=entry.spec,
+            expect={**entry.expect, "defended": not entry.expect["defended"]},
+        )
+        report = run_pack(ScenarioPack(name="tampered", entries=(tampered,)))
+        assert not report.ok
+        assert any("defended expected" in failure for failure in report.failures)
+
+
+class TestCli:
+    def test_run_pack_exits_zero_and_reports(self, capsys):
+        assert main(["run", "--pack", str(GOLDEN_PACK)]) == 0
+        out = capsys.readouterr().out
+        assert "[ok  ]" in out
+        assert "3/3 entries ok" in out
+
+    def test_run_pack_writes_payloads(self, tmp_path, capsys):
+        out_path = tmp_path / "payloads.json"
+        main(["run", "--pack", str(GOLDEN_PACK), "--output", str(out_path)])
+        capsys.readouterr()
+        payloads = json.loads(out_path.read_text(encoding="utf-8"))
+        assert set(payloads) == {name for name, _ in golden_scenarios()}
+        assert payloads["rssd-under-noise"]["post_noise_detected"] is True
+
+    def test_failing_pack_exits_one(self, tmp_path, capsys):
+        pack = ScenarioPack.load(str(GOLDEN_PACK))
+        entry = pack.entries[0]
+        tampered = ScenarioPack(
+            name="tampered",
+            entries=(
+                PackEntry(
+                    name=entry.name,
+                    spec=entry.spec,
+                    expect={**entry.expect, "oplog_hash": "0" * 64},
+                ),
+            ),
+        )
+        path = tmp_path / "tampered.json"
+        tampered.save(str(path))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--pack", str(path)])
+        assert excinfo.value.code == 1
+        assert "[FAIL]" in capsys.readouterr().out
+
+    def test_pack_and_spec_flags_are_mutually_exclusive(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        ScenarioSpec().save(str(spec_path))
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["run", "--pack", str(GOLDEN_PACK), "--spec", str(spec_path)])
+
+    def test_fuzz_emit_pack_replays_clean(self, tmp_path, capsys):
+        pack_path = tmp_path / "fuzzed.json"
+        assert (
+            main(
+                [
+                    "fuzz",
+                    "--budget", "2",
+                    "--seed", "5",
+                    "--emit-pack", str(pack_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["run", "--pack", str(pack_path)]) == 0
+        assert "2/2 entries ok" in capsys.readouterr().out
+
+
+class TestCliMultiSpec:
+    def test_directory_of_specs_runs_each(self, tmp_path, capsys):
+        spec_dir = tmp_path / "specs"
+        spec_dir.mkdir()
+        ScenarioSpec(seed=1).save(str(spec_dir / "a.json"))
+        ScenarioSpec(seed=2, attack="trimming-attack").save(str(spec_dir / "b.json"))
+        assert main(["run", "--spec", str(spec_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 specs ok" in out
+
+    def test_repeated_spec_flags_accumulate(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        ScenarioSpec(seed=1).save(str(a))
+        ScenarioSpec(seed=2).save(str(b))
+        assert main(["run", "--spec", str(a), "--spec", str(b)]) == 0
+        assert "2/2 specs ok" in capsys.readouterr().out
+
+    def test_one_bad_spec_fails_the_batch_but_runs_the_rest(
+        self, tmp_path, capsys
+    ):
+        good, bad = tmp_path / "good.json", tmp_path / "bad.json"
+        ScenarioSpec(seed=1).save(str(good))
+        bad.write_text('{"defense": "NotADefense"}', encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--spec", str(bad), "--spec", str(good)])
+        assert excinfo.value.code == 1
+        out = capsys.readouterr().out
+        assert "[FAIL]" in out and "[ok]" in out
+        assert "1/2 specs ok" in out
+
+    def test_empty_spec_directory_is_an_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(SystemExit, match=r"no \*\.json"):
+            main(["run", "--spec", str(empty)])

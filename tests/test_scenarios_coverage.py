@@ -1,0 +1,138 @@
+"""Coverage lattice and ledger: binning, merging, serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ScenarioSpec
+from repro.scenarios import (
+    LEDGER_VERSION,
+    CoverageLedger,
+    FuzzConfig,
+    SpecFuzzer,
+    ablation_bin,
+    attack_family,
+    region_of,
+    scale_bin,
+    workload_family,
+)
+
+
+class TestRegionLattice:
+    @pytest.mark.parametrize(
+        "attack,family",
+        [
+            ("classic", "classic"),
+            ("classic-delete", "classic"),
+            ("classic-trim", "classic"),
+            ("entropy-mimicry", "entropy-mimicry"),
+            ("entropy-mimicry-strong", "entropy-mimicry"),
+            ("intermittent-encrypt-sparse", "intermittent-encrypt"),
+            ("low-slow-v2-strong", "low-slow-v2"),
+            ("none", "none"),
+            ("gc-attack", "gc-attack"),
+        ],
+    )
+    def test_attack_family_collapses_variants(self, attack, family):
+        assert attack_family(attack) == family
+
+    def test_workload_family_collapses_trace_volumes(self):
+        assert workload_family("trace-hm") == "trace"
+        assert workload_family("trace-fiu-res") == "trace"
+        assert workload_family("office-edit") == "office-edit"
+        assert workload_family("idle") == "idle"
+
+    def test_scale_and_ablation_bins(self):
+        assert scale_bin(1) == "files-small"
+        assert scale_bin(8) == "files-small"
+        assert scale_bin(9) == "files-medium"
+        assert scale_bin(32) == "files-medium"
+        assert scale_bin(33) == "files-large"
+        assert ablation_bin(()) == "full"
+        assert ablation_bin(("enhanced-trim",)) == "ablated"
+
+    def test_region_of_joins_every_dimension(self):
+        spec = ScenarioSpec(
+            defense="RSSD",
+            attack="classic-trim",
+            workload="trace-hm",
+            device="tiny",
+            victim_files=16,
+            ablation=("enhanced-trim",),
+        )
+        assert region_of(spec) == "RSSD|classic|trace|tiny|ablated|files-medium"
+
+    def test_region_ignores_seed_and_file_size(self):
+        a = ScenarioSpec(seed=1, file_size_bytes=4096)
+        b = ScenarioSpec(seed=999, file_size_bytes=16384)
+        assert region_of(a) == region_of(b)
+
+
+class TestLedger:
+    def test_record_returns_the_region_and_dedupes(self):
+        ledger = CoverageLedger()
+        spec = ScenarioSpec(seed=3)
+        region = ledger.record(spec)
+        assert region == region_of(spec)
+        ledger.record(spec)
+        assert ledger.regions[region] == [spec.spec_hash()]
+        assert ledger.total_specs == 1
+
+    def test_merge_is_a_union_idempotent_and_commutative(self):
+        specs = [ScenarioSpec(seed=s) for s in (1, 2, 3)]
+        a, b = CoverageLedger(), CoverageLedger()
+        a.record(specs[0])
+        a.record(specs[1])
+        b.record(specs[1])
+        b.record(specs[2])
+        ab = CoverageLedger.from_dict(a.to_dict()).merge(b)
+        ba = CoverageLedger.from_dict(b.to_dict()).merge(a)
+        assert ab.to_json() == ba.to_json()
+        assert ab.merge(b).to_json() == ab.to_json()
+
+    def test_two_partial_runs_merge_to_one_full_run(self):
+        """The acceptance gate: splitting a fuzz walk produces the same
+        ledger as running it whole."""
+        config = FuzzConfig.tiny()
+        specs = SpecFuzzer(11, config).generate(10)
+        full = CoverageLedger()
+        for spec in specs:
+            full.record(spec)
+        first, second = CoverageLedger(), CoverageLedger()
+        for spec in specs[:5]:
+            first.record(spec)
+        for spec in specs[5:]:
+            second.record(spec)
+        merged = first.merge(second)
+        assert merged.to_json() == full.to_json()
+
+    def test_uncovered_and_fraction(self):
+        ledger = CoverageLedger()
+        spec = ScenarioSpec(seed=1)
+        region = ledger.record(spec)
+        universe = [region, "other|region|x|y|full|files-small"]
+        assert ledger.uncovered(universe) == ["other|region|x|y|full|files-small"]
+        assert ledger.coverage_fraction(universe) == 0.5
+        assert ledger.coverage_fraction([]) == 0.0
+
+    def test_json_round_trip_is_bit_identical(self, tmp_path):
+        ledger = CoverageLedger()
+        for seed in (5, 6, 7):
+            ledger.record(ScenarioSpec(seed=seed))
+        path = tmp_path / "ledger.json"
+        ledger.save(str(path))
+        rebuilt = CoverageLedger.load(str(path))
+        assert rebuilt.to_json() == ledger.to_json()
+        assert rebuilt.version == LEDGER_VERSION
+
+    def test_newer_version_is_refused(self):
+        with pytest.raises(ValueError, match="newer"):
+            CoverageLedger.from_dict({"version": LEDGER_VERSION + 1, "regions": {}})
+
+    def test_malformed_regions_are_refused(self):
+        with pytest.raises(ValueError, match="regions"):
+            CoverageLedger.from_dict({"version": 1, "regions": ["not", "a", "map"]})
+
+    def test_canonicalizes_unsorted_input(self):
+        ledger = CoverageLedger(regions={"r": ["bb", "aa", "bb"]})
+        assert ledger.regions["r"] == ["aa", "bb"]

@@ -1,0 +1,134 @@
+"""SpecFuzzer: determinism, (seed, index) addressing, guidance, config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ScenarioSpec
+from repro.scenarios import (
+    CoverageLedger,
+    FuzzConfig,
+    SpecFuzzer,
+    region_of,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_walk(self):
+        a = SpecFuzzer(7, FuzzConfig.tiny()).generate(12)
+        b = SpecFuzzer(7, FuzzConfig.tiny()).generate(12)
+        assert [s.spec_hash() for s in a] == [s.spec_hash() for s in b]
+        assert [s.to_json() for s in a] == [s.to_json() for s in b]
+
+    def test_different_seeds_diverge(self):
+        a = SpecFuzzer(7, FuzzConfig.tiny()).generate(8)
+        b = SpecFuzzer(8, FuzzConfig.tiny()).generate(8)
+        assert [s.spec_hash() for s in a] != [s.spec_hash() for s in b]
+
+    def test_spec_at_is_budget_independent(self):
+        """spec_at(i) is addressed by (fuzz_seed, index) alone, so any
+        spec from any walk can be re-derived without replaying the walk."""
+        fuzzer = SpecFuzzer(7, FuzzConfig.tiny())
+        walk = fuzzer.generate(10)
+        for index in (0, 3, 9):
+            alone = SpecFuzzer(7, FuzzConfig.tiny()).spec_at(index)
+            assert alone.spec_hash() == walk[index].spec_hash()
+
+    def test_specs_are_valid_and_drawn_from_the_config_pools(self):
+        config = FuzzConfig.tiny()
+        for spec in SpecFuzzer(3, config).generate(16):
+            assert isinstance(spec, ScenarioSpec)
+            assert spec.defense in config.defenses
+            assert spec.attack in config.attacks
+            assert spec.workload in config.workloads
+            assert spec.device in config.devices
+            assert spec.victim_files in config.victim_files_choices
+            if spec.ablation:
+                assert spec.defense == "RSSD"
+
+
+class TestRejection:
+    def test_invalid_pool_entries_are_rejected_and_counted(self):
+        """A pool containing bogus registry names still yields valid
+        specs -- the fuzzer redraws and accounts for each rejection."""
+        config = FuzzConfig.tiny()
+        poisoned = FuzzConfig.from_dict(
+            {
+                **config.to_dict(),
+                "attacks": list(config.attacks) + ["not-an-attack"],
+            }
+        )
+        fuzzer = SpecFuzzer(5, poisoned)
+        specs = fuzzer.generate(24)
+        assert len(specs) == 24
+        assert all(s.attack != "not-an-attack" for s in specs)
+        assert fuzzer.stats.rejected > 0
+        assert fuzzer.stats.generated == 24
+
+    def test_unsatisfiable_pool_raises(self):
+        config = FuzzConfig.from_dict(
+            {**FuzzConfig.tiny().to_dict(), "attacks": ["not-an-attack"]}
+        )
+        with pytest.raises(RuntimeError, match="valid ScenarioSpec"):
+            SpecFuzzer(1, config).spec_at(0)
+
+
+class TestGuidance:
+    def test_toward_uncovered_prefers_new_regions(self):
+        config = FuzzConfig.tiny()
+        baseline = SpecFuzzer(9, config).generate(20)
+        covered = CoverageLedger()
+        # Mark the baseline's first half covered; guided generation with
+        # the same seed must reach at least as many distinct regions.
+        for spec in baseline[:10]:
+            covered.record(spec)
+        guided = SpecFuzzer(9, config).generate(
+            20, covered=set(covered.covered_regions), toward_uncovered=True
+        )
+        assert len(guided) == 20
+        blind_regions = {region_of(s) for s in baseline}
+        guided_regions = {region_of(s) for s in guided}
+        assert len(guided_regions) >= len(blind_regions)
+
+    def test_guided_walk_is_itself_deterministic(self):
+        config = FuzzConfig.tiny()
+        covered = {region_of(s) for s in SpecFuzzer(2, config).generate(6)}
+        a = SpecFuzzer(4, config).generate(10, covered=set(covered), toward_uncovered=True)
+        b = SpecFuzzer(4, config).generate(10, covered=set(covered), toward_uncovered=True)
+        assert [s.spec_hash() for s in a] == [s.spec_hash() for s in b]
+
+    def test_covered_set_is_ignored_without_the_flag(self):
+        config = FuzzConfig.tiny()
+        covered = {region_of(s) for s in SpecFuzzer(2, config).generate(6)}
+        plain = SpecFuzzer(4, config).generate(10)
+        with_covered = SpecFuzzer(4, config).generate(10, covered=set(covered))
+        assert [s.spec_hash() for s in plain] == [s.spec_hash() for s in with_covered]
+
+
+class TestConfig:
+    def test_round_trip_is_exact(self):
+        for config in (FuzzConfig(), FuzzConfig.tiny()):
+            rebuilt = FuzzConfig.from_dict(config.to_dict())
+            assert rebuilt == config
+
+    def test_unknown_fields_are_refused(self):
+        payload = FuzzConfig.tiny().to_dict()
+        payload["gpu_count"] = 8
+        with pytest.raises(ValueError, match="unknown"):
+            FuzzConfig.from_dict(payload)
+
+    def test_default_pools_cover_the_registries(self):
+        from repro.campaign import registries
+
+        config = FuzzConfig()
+        assert config.defenses == tuple(sorted(registries.DEFENSES))
+        assert config.attacks == tuple(sorted(registries.ATTACKS))
+        assert config.workloads == tuple(sorted(registries.WORKLOADS))
+        assert config.devices == tuple(sorted(registries.DEVICE_CONFIGS))
+
+    def test_tiny_universe_is_stable(self):
+        universe = FuzzConfig.tiny().universe()
+        assert len(universe) == 48
+        assert universe == sorted(universe)
+        # RSSD is the only defense with ablated bins.
+        assert all("|ablated|" not in r or r.startswith("RSSD|") for r in universe)

@@ -1,0 +1,197 @@
+"""Real-trace loaders: MSR CSV, FIU IODedup, fio iolog (satellite formats)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    TraceParseError,
+    load_fio_iolog,
+    load_fiu_trace,
+    load_msr_trace,
+)
+from repro.workloads.records import TraceOp
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return str(path)
+
+
+class TestMsrLoader:
+    GOOD = (
+        "128166372003061629,hm,0,Write,8192,8192,559\n"
+        "128166372013061629,hm,0,Read,0,512,100\n"
+    )
+
+    def test_loads_the_published_csv_format(self, tmp_path):
+        records = load_msr_trace(write(tmp_path, "t.csv", self.GOOD))
+        assert [r.op for r in records] == [TraceOp.WRITE, TraceOp.READ]
+        # FILETIME ticks are 100ns: 10_000_000 ticks -> 1_000_000 us.
+        assert records[0].timestamp_us == 0
+        assert records[1].timestamp_us == 1_000_000
+        # Offsets/sizes are bytes: 8192/4096 -> lba 2, 2 pages; 512 bytes
+        # rounds up to one page.
+        assert (records[0].lba, records[0].npages) == (2, 2)
+        assert (records[1].lba, records[1].npages) == (0, 1)
+
+    def test_empty_file_is_an_empty_trace(self, tmp_path):
+        assert load_msr_trace(write(tmp_path, "e.csv", "")) == []
+
+    def test_out_of_order_timestamps_clamp_at_zero(self, tmp_path):
+        text = (
+            "128166372013061629,hm,0,Write,0,4096,1\n"
+            "128166372003061629,hm,0,Write,4096,4096,1\n"
+        )
+        records = load_msr_trace(write(tmp_path, "t.csv", text))
+        assert [r.timestamp_us for r in records] == [0, 0]
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not-a-timestamp,hm,0,Write,0,4096,1",
+            "1,hm,0,Erase,0,4096,1",
+            "1,hm,0,Write,-4096,4096,1",
+            "1,hm,0,Write,0,4096",
+        ],
+    )
+    def test_strict_mode_raises_with_path_and_line(self, tmp_path, line):
+        path = write(tmp_path, "bad.csv", self.GOOD + line + "\n")
+        with pytest.raises(TraceParseError) as excinfo:
+            load_msr_trace(path)
+        assert excinfo.value.path == path
+        assert excinfo.value.line_no == 3
+        assert f"{path}:3" in str(excinfo.value)
+
+    def test_lenient_mode_keeps_the_intact_prefix(self, tmp_path):
+        path = write(tmp_path, "bad.csv", self.GOOD + "truncated,li\n")
+        records = load_msr_trace(path, strict=False)
+        assert len(records) == 2
+
+    def test_max_records_caps_the_load(self, tmp_path):
+        path = write(tmp_path, "t.csv", self.GOOD)
+        assert len(load_msr_trace(path, max_records=1)) == 1
+
+    def test_page_size_rescales_addresses(self, tmp_path):
+        path = write(tmp_path, "t.csv", self.GOOD)
+        records = load_msr_trace(path, page_size=8192)
+        assert (records[0].lba, records[0].npages) == (1, 1)
+
+
+class TestFiuLoader:
+    GOOD = (
+        "0.0 1234 syslogd 8 16 W hashA hashB\n"
+        "1.5 1234 syslogd 0 1 R\n"
+    )
+
+    def test_loads_the_published_format(self, tmp_path):
+        records = load_fiu_trace(write(tmp_path, "t.blk", self.GOOD))
+        assert [r.op for r in records] == [TraceOp.WRITE, TraceOp.READ]
+        # Fractional seconds -> microseconds relative to the first line.
+        assert records[1].timestamp_us == 1_500_000
+        # 512-byte sectors, 8 per 4 KiB page: sector 8 -> lba 1, 16
+        # sectors -> 2 pages; 1 sector rounds up to one page.
+        assert (records[0].lba, records[0].npages) == (1, 2)
+        assert (records[1].lba, records[1].npages) == (0, 1)
+
+    def test_empty_file_is_an_empty_trace(self, tmp_path):
+        assert load_fiu_trace(write(tmp_path, "e.blk", "")) == []
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "nan 1 p 0 1 W",
+            "inf 1 p 0 1 W",
+            "0.0 1 p 0 1 Z",
+            "0.0 1 p -8 1 W",
+            "0.0 1 p 0 1",
+        ],
+    )
+    def test_strict_mode_raises_with_location(self, tmp_path, line):
+        path = write(tmp_path, "bad.blk", line + "\n")
+        with pytest.raises(TraceParseError) as excinfo:
+            load_fiu_trace(path)
+        assert excinfo.value.line_no == 1
+
+    def test_lenient_mode_skips_malformed_lines(self, tmp_path):
+        path = write(tmp_path, "bad.blk", "garbage\n" + self.GOOD)
+        assert len(load_fiu_trace(path, strict=False)) == 2
+
+    def test_max_records_caps_the_load(self, tmp_path):
+        path = write(tmp_path, "t.blk", self.GOOD)
+        assert len(load_fiu_trace(path, max_records=1)) == 1
+
+
+class TestFioLoader:
+    V2 = (
+        "fio version 2 iolog\n"
+        "/dev/sdb add\n"
+        "/dev/sdb open\n"
+        "/dev/sdb write 0 8192\n"
+        "/dev/sdb read 8192 4096\n"
+        "/dev/sdb trim 16384 4096\n"
+        "/dev/sdb datasync\n"
+        "/dev/sdb close\n"
+    )
+    V3 = (
+        "fio version 3 iolog\n"
+        "10 /dev/sdb write 0 4096\n"
+        "12 /dev/sdb sync\n"
+    )
+
+    def test_v2_synthesizes_timestamps_in_issue_order(self, tmp_path):
+        records = load_fio_iolog(write(tmp_path, "v2.log", self.V2))
+        assert [r.op for r in records] == [
+            TraceOp.WRITE,
+            TraceOp.READ,
+            TraceOp.TRIM,
+            TraceOp.FLUSH,
+        ]
+        assert [r.timestamp_us for r in records] == [0, 100, 200, 300]
+        assert (records[0].lba, records[0].npages) == (0, 2)
+        # Flushes carry no pages.
+        assert records[3].npages == 0
+
+    def test_v3_converts_millisecond_timestamps(self, tmp_path):
+        records = load_fio_iolog(write(tmp_path, "v3.log", self.V3))
+        assert [r.timestamp_us for r in records] == [0, 2000]
+        assert records[1].op is TraceOp.FLUSH
+
+    def test_missing_banner_is_refused(self, tmp_path):
+        path = write(tmp_path, "no.log", "/dev/sdb write 0 4096\n")
+        with pytest.raises(TraceParseError, match="banner"):
+            load_fio_iolog(path)
+
+    def test_empty_file_is_an_empty_trace(self, tmp_path):
+        assert load_fio_iolog(write(tmp_path, "e.log", "")) == []
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "/dev/sdb explode 0 4096",
+            "/dev/sdb write 0",
+            "/dev/sdb write -1 4096",
+        ],
+    )
+    def test_strict_mode_raises_on_malformed_lines(self, tmp_path, line):
+        path = write(tmp_path, "bad.log", "fio version 2 iolog\n" + line + "\n")
+        with pytest.raises(TraceParseError) as excinfo:
+            load_fio_iolog(path)
+        assert excinfo.value.line_no == 2
+
+    def test_lenient_mode_skips_malformed_lines(self, tmp_path):
+        text = "fio version 2 iolog\n/dev/sdb explode\n/dev/sdb write 0 4096\n"
+        records = load_fio_iolog(write(tmp_path, "bad.log", text), strict=False)
+        assert len(records) == 1
+        # Skipped lines do not consume synthesized-timestamp slots.
+        assert records[0].timestamp_us == 0
+
+    def test_default_interval_is_adjustable(self, tmp_path):
+        records = load_fio_iolog(
+            write(tmp_path, "v2.log", self.V2), default_interval_us=250
+        )
+        assert [r.timestamp_us for r in records] == [0, 250, 500, 750]
+
+    def test_max_records_caps_the_load(self, tmp_path):
+        assert len(load_fio_iolog(write(tmp_path, "v2.log", self.V2), max_records=2)) == 2
